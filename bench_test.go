@@ -1,0 +1,346 @@
+// Benchmarks regenerating the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index). Each benchmark runs a
+// scaled version of the corresponding experiment and reports
+// domain metrics via b.ReportMetric; the cmd/zeninfer and cmd/zeneval
+// tools run the full-scale versions.
+package zenport_test
+
+import (
+	"testing"
+
+	"zenport"
+	"zenport/internal/baseline/palmed"
+	"zenport/internal/baseline/pmevo"
+	"zenport/internal/baseline/uopsinfo"
+	"zenport/internal/eval"
+	"zenport/internal/lp"
+	"zenport/internal/portmodel"
+	"zenport/internal/sat"
+	"zenport/internal/zensim"
+)
+
+var benchDB = zenport.ZenDB()
+
+// blockerKeys are the Table 1 representatives plus improper blockers.
+var blockerKeys = []string{
+	"add GPR[32], GPR[32]", "vpor XMM, XMM, XMM", "vpaddd XMM, XMM, XMM",
+	"vminps XMM, XMM, XMM", "vbroadcastss XMM, XMM", "vpaddsw XMM, XMM, XMM",
+	"vaddps XMM, XMM, XMM", "mov GPR[32], MEM[32]", "vpslld XMM, XMM, XMM",
+	"vpmuldq XMM, XMM, XMM", "imul GPR[32], GPR[32]", "vroundps XMM, XMM, IMM[8]",
+	"vmovd XMM, GPR[32]", "mov MEM[32], GPR[32]", "vmovapd MEM[128], XMM",
+}
+
+// pipelineKeys extends blockerKeys with co-members, multi-µop and
+// problem schemes — the scaled stand-in for the full scheme list.
+var pipelineKeys = append(append([]string(nil), blockerKeys...),
+	"sub GPR[32], GPR[32]", "vpand XMM, XMM, XMM", "vpaddb XMM, XMM, XMM",
+	"vmaxps XMM, XMM, XMM", "vpshufd XMM, XMM, IMM[8]", "vsubps XMM, XMM, XMM",
+	"mov GPR[64], MEM[64]", "vpsrld XMM, XMM, XMM",
+	"add GPR[32], MEM[32]", "add MEM[32], GPR[32]", "vpaddd YMM, YMM, YMM",
+	"mov GPR[64], GPR[64]", "nop", "cmove GPR[32], GPR[32]",
+	"vdivps XMM, XMM, XMM", "bsf GPR[64], GPR[64]",
+)
+
+func benchSchemes(keys []string) []zenport.Scheme {
+	var out []zenport.Scheme
+	for _, k := range keys {
+		out = append(out, benchDB.MustGet(k).Scheme)
+	}
+	return out
+}
+
+func benchHarness(seed int64) *zenport.Harness {
+	m := zenport.NewZenMachine(benchDB, zenport.SimConfig{Noise: 0.001, Seed: seed})
+	return zenport.NewHarness(m)
+}
+
+// BenchmarkE1E5FullPipeline regenerates the scheme funnel (§4.1–§4.2
+// text), Table 1, Table 2, the §4.3 anomaly exclusions, and the §4.4
+// characterization on the scaled scheme set.
+func BenchmarkE1E5FullPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness(int64(42 + i))
+		rep, err := zenport.Infer(h, benchSchemes(pipelineKeys), zenport.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rep.Classes)), "blocking-classes")
+		b.ReportMetric(float64(len(rep.AnomalousBlockers)), "anomalies")
+		b.ReportMetric(float64(rep.CEGARRounds), "cegar-rounds")
+		b.ReportMetric(float64(rep.Supported()), "covered-schemes")
+	}
+}
+
+// BenchmarkE4AnomalyUNSAT reproduces the §4.3 imul observation: the
+// measured 1.5-cycle mixture admits no port mapping.
+func BenchmarkE4AnomalyUNSAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := &zenport.Instance{
+			NumPorts: 10, Rmax: 5, Epsilon: 0.02,
+			Uops: []zenport.UopSpec{
+				{Key: "add", NumPorts: 4},
+				{Key: "imul", NumPorts: 1},
+			},
+		}
+		exps := []zenport.MeasuredExp{
+			{Exp: zenport.Exp("add"), TInv: 0.25},
+			{Exp: zenport.Exp("imul"), TInv: 1.0},
+			{Exp: zenport.Experiment{"add": 4, "imul": 1}, TInv: 1.5},
+		}
+		if _, err := in.FindMapping(exps); err == nil {
+			b.Fatal("expected UNSAT")
+		}
+	}
+}
+
+// benchFigure5 runs the Figure 5 evaluation at the given scale and
+// returns the model results (PMEvo, Palmed, Ours).
+func benchFigure5(b *testing.B, blocks int) []eval.ModelResult {
+	b.Helper()
+	h := benchHarness(5)
+	rep, err := zenport.Infer(h, benchSchemes(pipelineKeys), zenport.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var keys []string
+	for key := range rep.Final.Usage {
+		if u, _ := rep.Final.Get(key); len(u) > 0 {
+			keys = append(keys, key)
+		}
+	}
+	cfg := pmevo.DefaultConfig()
+	cfg.Population, cfg.Generations = 30, 40
+	pm, err := pmevo.Infer(h, keys, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blockers := map[string]int{}
+	for _, cls := range rep.Classes {
+		ok := true
+		for _, a := range rep.AnomalousBlockers {
+			if a == cls.Rep {
+				ok = false
+			}
+		}
+		if ok {
+			blockers[cls.Rep] = cls.PortCount
+		}
+	}
+	pal, err := palmed.Infer(h, keys, blockers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs, err := eval.SampleBlocks(h, keys, blocks, 5, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := eval.Evaluate(bs, []eval.Predictor{
+		&eval.MappingPredictor{Label: "PMEvo", Mapping: pm},
+		&eval.FuncPredictor{Label: "Palmed", Fn: pal.IPC},
+		&eval.MappingPredictor{Label: "Ours", Mapping: rep.Final, Rmax: 5},
+	}, 5.5, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkE6Figure5Metrics regenerates Figure 5(a): MAPE/PCC/τ for
+// PMEvo, Palmed, and our mapping.
+func BenchmarkE6Figure5Metrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchFigure5(b, 300)
+		for _, r := range res {
+			b.ReportMetric(r.MAPE*100, r.Name+"-MAPE-%")
+		}
+		if res[2].MAPE >= res[0].MAPE || res[2].MAPE >= res[1].MAPE {
+			b.Fatalf("ours (%.3f) must beat PMEvo (%.3f) and Palmed (%.3f)",
+				res[2].MAPE, res[0].MAPE, res[1].MAPE)
+		}
+	}
+}
+
+// BenchmarkE7Figure5Heatmaps regenerates Figure 5(b–d): the
+// predicted-vs-measured IPC grids.
+func BenchmarkE7Figure5Heatmaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := benchFigure5(b, 300)
+		for _, r := range res {
+			if r.Heatmap.Total() == 0 {
+				b.Fatalf("%s heatmap empty", r.Name)
+			}
+			b.ReportMetric(float64(r.Heatmap.Total()), r.Name+"-samples")
+		}
+	}
+}
+
+// BenchmarkE8ToyThroughput measures the exact LP-equivalent
+// throughput evaluator on the Figure 2 example.
+func BenchmarkE8ToyThroughput(b *testing.B) {
+	m := zenport.NewMapping(2)
+	u1, u2 := zenport.MakePortSet(0, 1), zenport.MakePortSet(1)
+	m.Set("add", zenport.Usage{{Ports: u1, Count: 1}})
+	m.Set("mul", zenport.Usage{{Ports: u2, Count: 1}})
+	m.Set("fma", zenport.Usage{{Ports: u1, Count: 2}, {Ports: u2, Count: 1}})
+	e := zenport.Experiment{"mul": 2, "fma": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tp, err := m.InverseThroughput(e); err != nil || tp != 3 {
+			b.Fatalf("tp=%v err=%v", tp, err)
+		}
+	}
+}
+
+// BenchmarkE9FindOtherToy measures the Figure 4 distinguishing-
+// experiment search.
+func BenchmarkE9FindOtherToy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := &zenport.Instance{
+			NumPorts: 2, Epsilon: 0.02,
+			Uops: []zenport.UopSpec{{Key: "iA", NumPorts: 1}, {Key: "iB", NumPorts: 1}},
+		}
+		exps := []zenport.MeasuredExp{
+			{Exp: zenport.Exp("iA"), TInv: 1},
+			{Exp: zenport.Exp("iB"), TInv: 1},
+		}
+		m1, err := in.FindMapping(exps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		other, err := in.FindOtherMapping(exps, m1, 2, 4, 50)
+		if err != nil || other == nil {
+			b.Fatalf("other=%v err=%v", other, err)
+		}
+	}
+}
+
+// BenchmarkE11UopsInfoBaseline runs the original uops.info algorithm
+// against the Intel-like counter mode (§2.3).
+func BenchmarkE11UopsInfoBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := zenport.NewZenMachine(benchDB, zenport.SimConfig{
+			Noise: -1, PerPortCounters: true, DisableAnomalies: true,
+		})
+		h := zenport.NewHarness(m)
+		res, err := uopsinfo.Infer(h, blockerKeys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Blocking)), "port-sets")
+	}
+}
+
+// BenchmarkE12BackendAblation compares the analytic (LP-exact) and
+// cycle-level (greedy scheduler) simulator backends.
+func BenchmarkE12BackendAblation(b *testing.B) {
+	kernels := [][]string{
+		{"add GPR[32], GPR[32]", "add GPR[32], GPR[32]", "vpor XMM, XMM, XMM"},
+		{"vpslld XMM, XMM, XMM", "vpor XMM, XMM, XMM", "vpaddd XMM, XMM, XMM"},
+	}
+	for _, backend := range []zensim.Backend{zensim.Analytic, zensim.Cycle} {
+		name := "analytic"
+		if backend == zensim.Cycle {
+			name = "cycle"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := zenport.NewZenMachine(benchDB, zenport.SimConfig{Noise: -1, Backend: backend})
+			for i := 0; i < b.N; i++ {
+				for _, k := range kernels {
+					if _, err := m.Execute(k, 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13EpsilonAblation runs the blocking-instruction CEGAR at
+// three ε settings (DESIGN.md E13), reporting the rounds needed.
+func BenchmarkE13EpsilonAblation(b *testing.B) {
+	for _, epsName := range []struct {
+		name string
+		eps  float64
+	}{{"eps0.01", 0.01}, {"eps0.02", 0.02}, {"eps0.05", 0.05}} {
+		b.Run(epsName.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := benchHarness(11)
+				opts := zenport.DefaultOptions()
+				opts.Epsilon = epsName.eps
+				rep, err := zenport.Infer(h, benchSchemes(blockerKeys), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.CEGARRounds), "cegar-rounds")
+			}
+		})
+	}
+}
+
+// BenchmarkSATSolver measures the CDCL solver on PHP(8,7).
+func BenchmarkSATSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.NewSolver()
+		const pigeons, holes = 8, 7
+		var x [pigeons][holes]int
+		for p := 0; p < pigeons; p++ {
+			for h := 0; h < holes; h++ {
+				x[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p < pigeons; p++ {
+			cl := make([]sat.Lit, holes)
+			for h := 0; h < holes; h++ {
+				cl[h] = sat.NewLit(x[p][h], false)
+			}
+			if err := s.AddClause(cl...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					if err := s.AddClause(sat.NewLit(x[p1][h], true), sat.NewLit(x[p2][h], true)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		if r := s.Solve(); r != sat.Unsat {
+			b.Fatalf("PHP(8,7) = %v", r)
+		}
+	}
+}
+
+// BenchmarkLPSolver measures the simplex solver on the throughput LP
+// of a 10-port mapping.
+func BenchmarkLPSolver(b *testing.B) {
+	truth := benchDB.Truth()
+	e := portmodel.Experiment{
+		"add GPR[32], GPR[32]": 4,
+		"vpor XMM, XMM, XMM":   4,
+		"mov GPR[32], MEM[32]": 2,
+		"add MEM[32], GPR[32]": 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.InverseThroughput(truth, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimExecute measures one simulated kernel execution.
+func BenchmarkSimExecute(b *testing.B) {
+	m := zenport.NewZenMachine(benchDB, zenport.SimConfig{Noise: -1})
+	kernel := []string{
+		"add GPR[32], GPR[32]", "vpor XMM, XMM, XMM", "mov GPR[32], MEM[32]",
+		"vpaddd XMM, XMM, XMM", "add GPR[32], MEM[32]",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Execute(kernel, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command zenbench is the nanoBench-alike of the reproduction: it
+// runs a single steady-state kernel on the simulated Zen+ machine and
+// prints the measured counters — median inverse throughput, CPI,
+// retired-op counts (macro-ops on Zen+), and the FP-pipe counters.
+//
+// Kernels are given as comma-separated scheme keys with optional
+// multipliers, e.g.:
+//
+//	zenbench -kernel '4*add GPR[32], GPR[32], 1*imul GPR[32], GPR[32]'
+//	zenbench -list 'vpor'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"zenport"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel: comma-separated 'N*scheme key' terms")
+	list := flag.String("list", "", "list scheme keys containing this substring")
+	seed := flag.Int64("seed", 2600, "noise seed")
+	noise := flag.Float64("noise", 0.001, "relative measurement noise")
+	intel := flag.Bool("intel", false, "enable Intel-like per-port µop counters")
+	ideal := flag.Bool("ideal", false, "disable the Zen+ anomalies")
+	flag.Parse()
+
+	db := zenport.ZenDB()
+	if *list != "" {
+		for _, key := range db.Keys() {
+			if strings.Contains(key, *list) {
+				sp := db.MustGet(key)
+				fmt.Printf("%-45s macro-ops=%d  truth=%s\n", key, sp.MacroOps, sp.Uops)
+			}
+		}
+		return
+	}
+	if *kernel == "" {
+		log.Fatal("specify -kernel or -list")
+	}
+
+	e, err := parseKernel(*kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := *noise
+	if n == 0 {
+		n = -1
+	}
+	machine := zenport.NewZenMachine(db, zenport.SimConfig{
+		Noise: n, Seed: *seed, PerPortCounters: *intel, DisableAnomalies: *ideal,
+	})
+	h := zenport.NewHarness(machine)
+	r, err := h.Measure(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel:            %s\n", e)
+	fmt.Printf("inverse throughput: %.4f cycles/iteration (median of %d)\n", r.InvThroughput, r.Runs)
+	fmt.Printf("CPI:               %.4f\n", r.CPI)
+	fmt.Printf("IPC:               %.4f\n", 1/r.CPI)
+	fmt.Printf("retired ops:       %.2f per iteration (macro-ops on Zen+)\n", r.OpsPerIteration)
+	fmt.Printf("spread:            %.4f\n", r.Spread)
+	if r.FPPortOps != nil {
+		fmt.Printf("FP pipe µops:      %v\n", fmtVec(r.FPPortOps))
+	}
+	if r.PortOps != nil {
+		fmt.Printf("per-port µops:     %v\n", fmtVec(r.PortOps))
+	}
+}
+
+// parseKernel parses "4*key1, key2" into an experiment. Scheme keys
+// themselves contain commas ("add GPR[32], GPR[32]"), so terms are
+// split on commas NOT followed by a space-operand continuation: we
+// instead split on ';' if present, else try the comma heuristic.
+func parseKernel(s string) (zenport.Experiment, error) {
+	sep := ";"
+	if !strings.Contains(s, ";") {
+		sep = "|"
+		if !strings.Contains(s, "|") {
+			// Single term.
+			sep = "\x00"
+		}
+	}
+	terms := strings.Split(s, sep)
+	e := zenport.Experiment{}
+	for _, t := range terms {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		count := 1
+		if i := strings.Index(t, "*"); i > 0 {
+			if n, err := strconv.Atoi(strings.TrimSpace(t[:i])); err == nil {
+				count = n
+				t = strings.TrimSpace(t[i+1:])
+			}
+		}
+		e[t] += count
+	}
+	if e.Len() == 0 {
+		return nil, fmt.Errorf("empty kernel %q", s)
+	}
+	return e, nil
+}
+
+func fmtVec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.2f", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

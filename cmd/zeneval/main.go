@@ -1,0 +1,116 @@
+// Command zeneval reproduces Figure 5 of Ritter & Hack (ASPLOS
+// 2024): it infers a port mapping with the paper's algorithm, trains
+// the PMEvo and Palmed baselines on the same simulated Zen+ machine,
+// benchmarks random five-instruction basic blocks, and reports IPC
+// prediction accuracy (MAPE, Pearson, Kendall τ) plus ASCII heatmaps
+// of predicted vs. measured IPC.
+//
+// Usage:
+//
+//	zeneval [-blocks N] [-schemes N] [-seed N] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"zenport"
+	"zenport/internal/baseline/palmed"
+	"zenport/internal/baseline/pmevo"
+	"zenport/internal/eval"
+	"zenport/internal/isa"
+	"zenport/internal/portmodel"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 1000, "number of random basic blocks (paper: 5000)")
+	maxKeys := flag.Int("schemes", 0, "limit evaluated schemes (0 = all common covered schemes)")
+	seed := flag.Int64("seed", 2600, "random seed")
+	fast := flag.Bool("fast", false, "smaller PMEvo budget")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	db := zenport.ZenDB()
+	machine := zenport.NewZenMachine(db, zenport.SimConfig{Noise: 0.001, Seed: *seed})
+	h := zenport.NewHarness(machine)
+
+	opts := zenport.DefaultOptions()
+	if !*quiet {
+		opts.Log = func(f string, a ...any) { log.Printf(f, a...) }
+	}
+	log.Printf("running inference pipeline...")
+	rep, err := zenport.Infer(h, zenport.ZenSchemes(db), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluation schemes: compiler-common, covered by our mapping,
+	// with at least one µop (mirrors the paper's SPEC-derived set).
+	var keys []string
+	for key := range rep.Final.Usage {
+		sp, ok := db.Get(key)
+		if !ok || !sp.Scheme.Attr.Has(isa.AttrCommon) {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	if *maxKeys > 0 && *maxKeys < len(keys) {
+		keys = keys[:*maxKeys]
+	}
+	log.Printf("evaluating on %d common schemes", len(keys))
+
+	// Baselines trained on the same machine.
+	pmevoCfg := pmevo.DefaultConfig()
+	if *fast {
+		pmevoCfg.Population, pmevoCfg.Generations = 30, 40
+	}
+	log.Printf("training PMEvo (population %d, %d generations)...", pmevoCfg.Population, pmevoCfg.Generations)
+	pmevoMap, err := pmevo.Infer(h, keys, pmevoCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blockerPorts := map[string]int{}
+	for _, cls := range rep.Classes {
+		anomalous := false
+		for _, a := range rep.AnomalousBlockers {
+			if a == cls.Rep {
+				anomalous = true
+			}
+		}
+		if !anomalous {
+			blockerPorts[cls.Rep] = cls.PortCount
+		}
+	}
+	log.Printf("fitting Palmed-style conjunctive model...")
+	palmedModel, err := palmed.Infer(h, keys, blockerPorts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("sampling %d basic blocks...", *blocks)
+	bs, err := eval.SampleBlocks(h, keys, *blocks, 5, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	preds := []eval.Predictor{
+		&eval.MappingPredictor{Label: "PMEvo", Mapping: pmevoMap},
+		&eval.FuncPredictor{Label: "Palmed", Fn: palmedModel.IPC},
+		&eval.MappingPredictor{Label: "Ours", Mapping: rep.Final, Rmax: machine.Rmax()},
+	}
+	results, err := eval.Evaluate(bs, preds, 5.5, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n== Figure 5(a): IPC prediction accuracy over %d blocks\n", len(bs))
+	fmt.Print(eval.FormatTable(results))
+	for _, r := range results {
+		fmt.Printf("\n== Figure 5: %s predicted (y) vs measured (x) IPC, 0..5.5\n", r.Name)
+		fmt.Print(r.Heatmap.Render())
+	}
+	_ = portmodel.Experiment(nil)
+}

@@ -1,0 +1,104 @@
+// Command zenmap inspects a port mapping produced by zeninfer: it
+// prints instruction usages, compares against the simulator's ground
+// truth, and predicts the throughput of user-provided kernels with
+// the Section 2.2 linear-program semantics.
+//
+// Usage:
+//
+//	zenmap -in mapping.json [-grep vpadd] [-predict '2*add GPR[32], GPR[32]; vpor XMM, XMM, XMM']
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"zenport"
+)
+
+func main() {
+	in := flag.String("in", "", "mapping JSON file (from zeninfer -out)")
+	grep := flag.String("grep", "", "only print schemes containing this substring")
+	predict := flag.String("predict", "", "kernel to predict ('N*key; M*key')")
+	compare := flag.Bool("compare", false, "compare against the simulator ground truth")
+	flag.Parse()
+
+	if *in == "" {
+		log.Fatal("specify -in mapping.json")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var m zenport.Mapping
+	if err := json.Unmarshal(data, &m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapping over %d ports, %d schemes\n", m.NumPorts, len(m.Usage))
+
+	if *predict != "" {
+		e, err := parseKernel(*predict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tp, err := m.InverseThroughputBounded(e, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("kernel %s\n", e)
+		fmt.Printf("predicted inverse throughput: %.4f cycles/iteration\n", tp)
+		fmt.Printf("predicted IPC:                %.4f\n", float64(e.Len())/tp)
+		return
+	}
+
+	db := zenport.ZenDB()
+	matches, exact := 0, 0
+	for _, key := range m.Keys() {
+		if *grep != "" && !strings.Contains(key, *grep) {
+			continue
+		}
+		u, _ := m.Get(key)
+		line := fmt.Sprintf("%-45s %s", key, u)
+		if *compare {
+			if sp, ok := db.Get(key); ok {
+				if u.Equal(sp.Uops) {
+					line += "   [= truth]"
+					exact++
+				} else {
+					line += fmt.Sprintf("   [truth: %s]", sp.Uops)
+				}
+			}
+		}
+		fmt.Println(line)
+		matches++
+	}
+	if *compare {
+		fmt.Printf("\n%d/%d schemes match the ground truth exactly (port-renaming not applied)\n", exact, matches)
+	}
+}
+
+func parseKernel(s string) (zenport.Experiment, error) {
+	e := zenport.Experiment{}
+	for _, t := range strings.Split(s, ";") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		count := 1
+		if i := strings.Index(t, "*"); i > 0 {
+			if n, err := strconv.Atoi(strings.TrimSpace(t[:i])); err == nil {
+				count = n
+				t = strings.TrimSpace(t[i+1:])
+			}
+		}
+		e[t] += count
+	}
+	if e.Len() == 0 {
+		return nil, fmt.Errorf("empty kernel %q", s)
+	}
+	return e, nil
+}

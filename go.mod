@@ -1,0 +1,3 @@
+module zenport
+
+go 1.22

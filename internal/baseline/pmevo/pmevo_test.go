@@ -1,0 +1,88 @@
+package pmevo
+
+import (
+	"math"
+	"testing"
+
+	"zenport/internal/measure"
+	"zenport/internal/portmodel"
+	"zenport/internal/zen"
+	"zenport/internal/zensim"
+)
+
+var db = zen.Build()
+
+func harness() *measure.Harness {
+	m := zensim.NewMachine(db, zensim.Config{Noise: -1, DisableAnomalies: true})
+	return measure.NewHarness(m)
+}
+
+var evoKeys = []string{
+	"add GPR[32], GPR[32]",
+	"vpor XMM, XMM, XMM",
+	"vminps XMM, XMM, XMM",
+	"vpslld XMM, XMM, XMM",
+	"mov GPR[32], MEM[32]",
+}
+
+func TestInferImprovesOverRandom(t *testing.T) {
+	h := harness()
+	cfg := DefaultConfig()
+	cfg.Generations = 60
+	cfg.Population = 40
+	m, err := Infer(h, evoKeys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The evolved mapping should predict singleton throughputs
+	// reasonably (within 30% on average — PMEvo is approximate).
+	sum, n := 0.0, 0
+	for _, k := range evoKeys {
+		want, err := h.InvThroughput(portmodel.Exp(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.InverseThroughputBounded(portmodel.Exp(k), h.P.Rmax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Abs(got-want) / want
+		n++
+	}
+	if mape := sum / float64(n); mape > 0.30 {
+		t.Fatalf("singleton MAPE %.2f too high\n%v", mape, m)
+	}
+}
+
+func TestInferDeterministicForSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Generations = 10
+	cfg.Population = 20
+	m1, err := Infer(harness(), evoKeys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Infer(harness(), evoKeys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range evoKeys {
+		u1, _ := m1.Get(k)
+		u2, _ := m2.Get(k)
+		if !u1.Equal(u2) {
+			t.Fatalf("seeded run not deterministic for %s: %v vs %v", k, u1, u2)
+		}
+	}
+}
+
+func TestMutateKeepsMappingValid(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := Infer(harness(), evoKeys[:2], Config{Population: 10, Generations: 5, MaxUops: 2, PairSamples: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cfg
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"zenport/internal/portmodel"
+	"zenport/internal/smt"
+)
+
+// stage3 runs the counter-example-guided inference (Algorithm 2,
+// §3.3) over the blocking instructions, plus the manually added
+// improper store blockers (§4.3). Blocking instructions whose
+// measurements make the model unsatisfiable (imul, vpmuldq, vmovd on
+// Zen+) are isolated and excluded, together with all schemes sharing
+// their mnemonic.
+func (p *Pipeline) stage3(rep *Report) error {
+	inst := &smt.Instance{
+		NumPorts: p.Opts.NumPorts,
+		Rmax:     p.H.P.Rmax(),
+		Epsilon:  p.Opts.Epsilon,
+	}
+	for i := range rep.Classes {
+		cls := &rep.Classes[i]
+		inst.Uops = append(inst.Uops, smt.UopSpec{Key: cls.Rep, NumPorts: cls.PortCount})
+	}
+	// Improper blockers: two µops, one tied to a proper blocker's
+	// port set (§4.3, "We augment the SMT formulas such that...").
+	for _, ib := range p.Opts.ImproperBlockers {
+		if _, ok := rep.Info[ib.Key]; !ok {
+			return fmt.Errorf("improper blocker %q was not measured in stage 1", ib.Key)
+		}
+		inst.Uops = append(inst.Uops,
+			smt.UopSpec{Key: ib.Key, NumPorts: 0},
+			smt.UopSpec{Key: ib.Key, TiedToBlocker: true},
+		)
+	}
+
+	// Seed experiments: every blocker executed alone.
+	var exps []smt.MeasuredExp
+	for _, key := range inst.SortedKeys() {
+		e := portmodel.Exp(key)
+		t, err := p.H.InvThroughput(e)
+		if err != nil {
+			return err
+		}
+		exps = append(exps, smt.MeasuredExp{Exp: e, TInv: t})
+		rep.CEGARWitnesses = append(rep.CEGARWitnesses, Witness{
+			Exp: e, TInv: t, Claim: "seed: single-instruction throughput",
+		})
+	}
+
+	for round := 0; round < p.Opts.MaxCEGARRounds; round++ {
+		m1, err := inst.FindMapping(exps)
+		if errors.Is(err, smt.ErrNoMapping) {
+			culprit, cerr := p.isolateCulprit(inst, exps)
+			if cerr != nil {
+				return cerr
+			}
+			if culprit == "" {
+				return fmt.Errorf("model UNSAT but no single culprit identifiable")
+			}
+			p.logf("stage 3: excluding anomalous blocker %s (model UNSAT, §4.3)", culprit)
+			rep.AnomalousBlockers = append(rep.AnomalousBlockers, culprit)
+			p.excludeMnemonicFamily(rep, culprit)
+			inst = inst.Without(map[string]bool{culprit: true})
+			exps = smt.FilterExps(exps, map[string]bool{culprit: true})
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		other, err := inst.FindOtherMapping(exps, m1, p.Opts.MaxExpDistinct, p.Opts.MaxExpTotal, p.Opts.MaxCandidates)
+		if err != nil {
+			return err
+		}
+		if other == nil {
+			p.finishStage3(rep, m1)
+			rep.CEGARRounds = round
+			return nil
+		}
+		t, err := p.H.InvThroughput(other.Exp)
+		if err != nil {
+			return err
+		}
+		exps = append(exps, smt.MeasuredExp{Exp: other.Exp, TInv: t})
+		rep.CEGARWitnesses = append(rep.CEGARWitnesses, Witness{
+			Exp:    other.Exp,
+			TInv:   t,
+			TOther: other.T2,
+			Claim: fmt.Sprintf("distinguishes candidate mappings (model values %0.3f vs %0.3f)",
+				other.T1, other.T2),
+		})
+	}
+	// Budget exhausted: accept the last consistent mapping.
+	m1, err := inst.FindMapping(exps)
+	if err != nil {
+		return err
+	}
+	p.finishStage3(rep, m1)
+	rep.CEGARRounds = p.Opts.MaxCEGARRounds
+	return nil
+}
+
+// finishStage3 stores the blocker mapping and back-fills the inferred
+// port sets into the blocking classes.
+func (p *Pipeline) finishStage3(rep *Report, m *portmodel.Mapping) {
+	rep.BlockerMapping = m
+	for i := range rep.Classes {
+		cls := &rep.Classes[i]
+		if u, ok := m.Get(cls.Rep); ok && len(u) > 0 {
+			cls.Ports = u[0].Ports
+		}
+	}
+}
+
+// excludeMnemonicFamily marks every scheme sharing the culprit's
+// mnemonic as excluded (§4.3: "...and instructions with the same
+// mnemonics, as we expect them to share aspects of the problematic
+// instructions").
+func (p *Pipeline) excludeMnemonicFamily(rep *Report, culprit string) {
+	mn := strings.SplitN(culprit, " ", 2)[0]
+	for key := range rep.Info {
+		if strings.SplitN(key, " ", 2)[0] == mn && rep.Excluded[key] == "" {
+			rep.Excluded[key] = ExclCEGARAnomaly
+		}
+	}
+	// Drop the class whose representative is the culprit from the
+	// CEGAR result (it stays in Table 1's class list).
+}
+
+// isolateCulprit identifies the blocking instruction responsible for
+// an UNSAT model, mirroring the diagnosis the paper performs by hand
+// in §4.3. It first asks, for every blocker key k, whether removing k
+// (and the experiments mentioning it) makes the model satisfiable —
+// the direct formalization of "these instructions cause UNSAT results
+// in the findMapping method". If several single removals work, probe
+// benchmarks decide; if none does (several anomalies poison disjoint
+// experiments), suspicion falls back to per-experiment sub-problems.
+func (p *Pipeline) isolateCulprit(inst *smt.Instance, exps []smt.MeasuredExp) (string, error) {
+	keys := inst.SortedKeys()
+	var fixes []string
+	for _, k := range keys {
+		excl := map[string]bool{k: true}
+		sub := inst.Without(excl)
+		if _, err := sub.FindMapping(smt.FilterExps(exps, excl)); err == nil {
+			fixes = append(fixes, k)
+		} else if !errors.Is(err, smt.ErrNoMapping) {
+			return "", err
+		}
+	}
+	if len(fixes) == 1 {
+		return fixes[0], nil
+	}
+	if len(fixes) > 1 {
+		return p.probeDiagnose(inst, exps, fixes)
+	}
+
+	// No single removal fixes the model: several instructions are
+	// anomalous at once. Score keys by how many measured experiments
+	// become satisfiable sub-problems only without them.
+	suspicion := map[string]int{}
+	for _, me := range exps {
+		if me.Exp.Len() < 2 {
+			continue
+		}
+		sub := map[string]bool{}
+		for k := range me.Exp {
+			sub[k] = true
+		}
+		si := subInstance(inst, sub)
+		if _, err := si.FindMapping(expsOver(exps, sub)); errors.Is(err, smt.ErrNoMapping) {
+			for k := range sub {
+				suspicion[k]++
+			}
+		} else if err != nil {
+			return "", err
+		}
+	}
+	p.logf("stage 3: culprit isolation: suspicion=%v over %d experiments", suspicion, len(exps))
+	var suspects []string
+	maxS := 0
+	for _, s := range suspicion {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	for k, s := range suspicion {
+		if s == maxS && maxS > 0 {
+			suspects = append(suspects, k)
+		}
+	}
+	if len(suspects) == 0 {
+		// Joint inconsistency with no localized witness: probe all
+		// keys pairwise against each other.
+		suspects = keys
+	}
+	sort.Strings(suspects)
+	if len(suspects) == 1 {
+		return suspects[0], nil
+	}
+	return p.probeDiagnose(inst, exps, suspects)
+}
+
+// probeDiagnose separates tied suspects with fresh benchmarks: each
+// suspect is flooded with four copies of every non-suspect blocker
+// and charged for every two-instruction model the measurement
+// contradicts.
+func (p *Pipeline) probeDiagnose(inst *smt.Instance, exps []smt.MeasuredExp, suspects []string) (string, error) {
+	sort.Strings(suspects)
+	suspectSet := map[string]bool{}
+	for _, s := range suspects {
+		suspectSet[s] = true
+	}
+	singleton := map[string]float64{}
+	for _, me := range exps {
+		if me.Exp.Len() == 1 {
+			for k := range me.Exp {
+				singleton[k] = me.TInv
+			}
+		}
+	}
+	scores := map[string]int{}
+	for _, s := range suspects {
+		for _, partner := range inst.SortedKeys() {
+			if suspectSet[partner] || partner == s {
+				continue
+			}
+			probe := portmodel.Experiment{partner: 4, s: 1}
+			t, err := p.H.InvThroughput(probe)
+			if err != nil {
+				return "", err
+			}
+			keys := map[string]bool{partner: true, s: true}
+			sub := subInstance(inst, keys)
+			var subExps []smt.MeasuredExp
+			for _, k := range []string{partner, s} {
+				if ts, ok := singleton[k]; ok {
+					subExps = append(subExps, smt.MeasuredExp{Exp: portmodel.Exp(k), TInv: ts})
+				}
+			}
+			subExps = append(subExps, smt.MeasuredExp{Exp: probe, TInv: t})
+			if _, err := sub.FindMapping(subExps); errors.Is(err, smt.ErrNoMapping) {
+				scores[s]++
+			} else if err != nil {
+				return "", err
+			}
+		}
+	}
+	p.logf("stage 3: probe diagnosis: scores=%v", scores)
+	best := suspects[0]
+	for _, s := range suspects[1:] {
+		if scores[s] > scores[best] {
+			best = s
+		}
+	}
+	if scores[best] == 0 {
+		// No probe incriminates anyone individually; fall back to
+		// the suspect with the smallest port count (the paper's
+		// anomalies were all narrow-port instructions), then
+		// lexicographic.
+		sort.Slice(suspects, func(a, b int) bool {
+			pa, pb := instPortCount(inst, suspects[a]), instPortCount(inst, suspects[b])
+			if pa != pb {
+				return pa < pb
+			}
+			return suspects[a] < suspects[b]
+		})
+		best = suspects[0]
+	}
+	return best, nil
+}
+
+// instPortCount returns the declared port count of a key's first µop.
+func instPortCount(inst *smt.Instance, key string) int {
+	for _, u := range inst.Uops {
+		if u.Key == key {
+			if u.NumPorts == 0 {
+				return 99
+			}
+			return u.NumPorts
+		}
+	}
+	return 99
+}
+
+// subInstance restricts an instance to the given keys, dropping tie
+// constraints (a relaxation, so UNSAT sub-problems are genuine).
+func subInstance(inst *smt.Instance, keys map[string]bool) *smt.Instance {
+	out := &smt.Instance{NumPorts: inst.NumPorts, Rmax: inst.Rmax, Epsilon: inst.Epsilon}
+	for _, u := range inst.Uops {
+		if keys[u.Key] {
+			u.TiedToBlocker = false
+			out.Uops = append(out.Uops, u)
+		}
+	}
+	return out
+}
+
+// expsOver selects the experiments mentioning only the given keys.
+func expsOver(exps []smt.MeasuredExp, keys map[string]bool) []smt.MeasuredExp {
+	var out []smt.MeasuredExp
+	for _, me := range exps {
+		ok := true
+		for k := range me.Exp {
+			if !keys[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, me)
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zenport/internal/portmodel"
+)
+
+// blockerDesc is one usable blocking instruction for stage 4.
+type blockerDesc struct {
+	key string
+	pu  portmodel.PortSet
+}
+
+// stage4 characterizes every remaining scheme against the blocking
+// suite without per-port µop counters (§3.1, §4.4): flooding the
+// ports pu with k blocking instructions, the µops of the instruction
+// under investigation that cannot evade pu each add 1/|pu| cycles, so
+//
+//	µops of i on pu = (tp⁻¹([k×B, i]) − tp⁻¹([k×B])) · |pu|.
+//
+// Blocking instructions are applied in ascending port-set size and
+// previously found µops on proper subsets are subtracted (Algorithm
+// 1). The stage runs CharacterizeRuns times with fresh measurements
+// and accepts a result only when a majority of runs agree (§4.4).
+func (p *Pipeline) stage4(rep *Report) error {
+	blockers := p.stage4Blockers(rep)
+	if len(blockers) == 0 {
+		return fmt.Errorf("no usable blocking instructions")
+	}
+
+	// Collect the schemes to characterize: measured, not excluded,
+	// not blockers themselves.
+	blockerSet := map[string]bool{}
+	for _, b := range blockers {
+		blockerSet[b.key] = true
+	}
+	var todo []string
+	for key, info := range rep.Info {
+		if rep.Excluded[key] != "" || blockerSet[key] || info.NoPorts {
+			continue
+		}
+		if _, isBlocked := rep.BlockerMapping.Usage[key]; isBlocked {
+			continue
+		}
+		todo = append(todo, key)
+	}
+	sort.Strings(todo)
+
+	runs := p.Opts.CharacterizeRuns
+	if runs < 1 {
+		runs = 1
+	}
+	type runResult struct {
+		found map[portmodel.PortSet]int
+		ok    bool
+	}
+	results := make(map[string][]runResult, len(todo))
+
+	for r := 0; r < runs; r++ {
+		if r > 0 {
+			// Fresh measurements for independent runs.
+			p.H.ClearCache()
+		}
+		for _, key := range todo {
+			found, witnesses, ok, err := p.characterizeOne(rep, key, blockers)
+			if err != nil {
+				return err
+			}
+			results[key] = append(results[key], runResult{found: found, ok: ok})
+			if r == 0 && ok {
+				rep.CharWitnesses[key] = witnesses
+			}
+		}
+	}
+
+	for _, key := range todo {
+		rs := results[key]
+		// Majority vote over agreeing runs.
+		bestCount, bestIdx := 0, -1
+		for i, a := range rs {
+			if !a.ok {
+				continue
+			}
+			n := 0
+			for _, b := range rs {
+				if b.ok && sameFound(a.found, b.found) {
+					n++
+				}
+			}
+			if n > bestCount {
+				bestCount, bestIdx = n, i
+			}
+		}
+		if bestIdx == -1 || bestCount*2 <= runs {
+			rep.Excluded[key] = ExclCharUnstable
+			continue
+		}
+		usage := foundToUsage(rs[bestIdx].found)
+		rep.Characterized[key] = usage
+		// Spurious-µop detection (§4.4): more µops inferred than the
+		// op counter plus the postulate explain — the microcode
+		// sequencer artifact.
+		if usage.TotalUops() > rep.Info[key].UopsPostulated {
+			rep.Spurious = append(rep.Spurious, key)
+		}
+	}
+
+	// Assemble the final mapping.
+	final := portmodel.NewMapping(p.Opts.NumPorts)
+	for key, u := range rep.BlockerMapping.Usage {
+		final.Set(key, u)
+	}
+	for key, u := range rep.Characterized {
+		final.Set(key, u)
+	}
+	for key, info := range rep.Info {
+		if info.NoPorts && rep.Excluded[key] == "" {
+			final.Set(key, portmodel.Usage{})
+		}
+	}
+	rep.Final = final
+	return nil
+}
+
+// stage4Blockers selects the usable blockers from the CEGAR result:
+// the proper blocking classes that survived §4.3, plus the first
+// improper blocker to cover the store port, ordered by ascending
+// port-set size.
+func (p *Pipeline) stage4Blockers(rep *Report) []blockerDesc {
+	var out []blockerDesc
+	anom := map[string]bool{}
+	for _, a := range rep.AnomalousBlockers {
+		anom[a] = true
+	}
+	for _, cls := range rep.Classes {
+		if anom[cls.Rep] || cls.Ports == 0 {
+			continue
+		}
+		out = append(out, blockerDesc{key: cls.Rep, pu: cls.Ports})
+	}
+	// The storing mov blocks the store port (§4.4: "We use mov
+	// MEM[32], GPR[32] to block the store port 5"): its own port is
+	// the one of its non-tied µop, i.e. the port set not shared with
+	// a proper blocker.
+	if len(p.Opts.ImproperBlockers) > 0 && rep.BlockerMapping != nil {
+		key := p.Opts.ImproperBlockers[0].Key
+		if usage, ok := rep.BlockerMapping.Get(key); ok {
+			if own, ok := improperOwnPorts(rep, usage); ok {
+				out = append(out, blockerDesc{key: key, pu: own})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].pu.Size() != out[b].pu.Size() {
+			return out[a].pu.Size() < out[b].pu.Size()
+		}
+		return out[a].pu < out[b].pu
+	})
+	return out
+}
+
+// improperOwnPorts extracts the µop of an improper blocker that does
+// not coincide with a proper blocking class (the store µop).
+func improperOwnPorts(rep *Report, usage portmodel.Usage) (portmodel.PortSet, bool) {
+	classPorts := map[portmodel.PortSet]bool{}
+	for _, cls := range rep.Classes {
+		if cls.Ports != 0 {
+			classPorts[cls.Ports] = true
+		}
+	}
+	for _, u := range usage {
+		if !classPorts[u.Ports] {
+			return u.Ports, true
+		}
+	}
+	return 0, false
+}
+
+// characterizeOne runs Algorithm 1 (adapted per §3.1) for one scheme.
+func (p *Pipeline) characterizeOne(rep *Report, key string, blockers []blockerDesc) (map[portmodel.PortSet]int, []Witness, bool, error) {
+	info := rep.Info[key]
+	found := map[portmodel.PortSet]int{}
+	var witnesses []Witness
+
+	for _, b := range blockers {
+		k := blockCount(b.pu.Size(), info.UopsPostulated, info.TInv)
+		flood := portmodel.Experiment{b.key: k}
+		withI := portmodel.Experiment{b.key: k, key: 1}
+		tOnly, err := p.H.InvThroughput(flood)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		tWith, err := p.H.InvThroughput(withI)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		raw := (tWith - tOnly) * float64(b.pu.Size())
+		n := int(math.Round(raw))
+		if n < 0 || math.Abs(raw-float64(n)) > 0.3 {
+			// Fractional or negative surplus: outside the model.
+			return nil, nil, false, nil
+		}
+		surplus := n
+		for pu, cnt := range found {
+			if pu != b.pu && pu.SubsetOf(b.pu) {
+				surplus -= cnt
+			}
+		}
+		if surplus > 0 {
+			found[b.pu] = surplus
+			witnesses = append(witnesses, Witness{
+				Exp:    withI,
+				TInv:   tWith,
+				TOther: tOnly,
+				Claim: fmt.Sprintf("%d µop(s) cannot evade %s: flooding with %d×%s adds %0.3f cycles",
+					surplus, b.pu, k, b.key, tWith-tOnly),
+			})
+		}
+	}
+	return found, witnesses, true, nil
+}
+
+// blockCount is the uops.info heuristic for the number of blocking
+// instructions (§2.3):
+//
+//	k = min(100, max(10, |pu|·µopsOf(i), 2·|pu|·max(1, ⌊tp⁻¹([i])⌋)))
+func blockCount(puSize, uops int, tinv float64) int {
+	k := 10
+	if v := puSize * uops; v > k {
+		k = v
+	}
+	if v := 2 * puSize * maxInt(1, int(tinv)); v > k {
+		k = v
+	}
+	if k > 100 {
+		k = 100
+	}
+	return k
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sameFound compares two found-µop maps.
+func sameFound(a, b map[portmodel.PortSet]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// foundToUsage converts a found-µop map into a Usage.
+func foundToUsage(found map[portmodel.PortSet]int) portmodel.Usage {
+	var u portmodel.Usage
+	for ps, n := range found {
+		u = append(u, portmodel.Uop{Ports: ps, Count: n})
+	}
+	return u.Normalize()
+}

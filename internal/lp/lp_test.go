@@ -1,0 +1,153 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-7 }
+
+func TestSimpleMin(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> optimum at (1.6, 1.2), obj 2.8.
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	y := p.AddVariable(1, "y")
+	if err := p.AddConstraint([]int{x, y}, []float64{1, 2}, GE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]int{x, y}, []float64{3, 1}, GE, 6); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Solve(); st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	obj, _ := p.Objective()
+	if !approx(obj, 2.8) {
+		t.Fatalf("obj = %v, want 2.8", obj)
+	}
+	xv, _ := p.Value(x)
+	yv, _ := p.Value(y)
+	if !approx(xv, 1.6) || !approx(yv, 1.2) {
+		t.Fatalf("solution (%v,%v), want (1.6,1.2)", xv, yv)
+	}
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> obj 36 at (2,6).
+	p := NewProblem()
+	p.SetMaximize()
+	x := p.AddVariable(3, "x")
+	y := p.AddVariable(5, "y")
+	_ = p.AddConstraint([]int{x}, []float64{1}, LE, 4)
+	_ = p.AddConstraint([]int{y}, []float64{2}, LE, 12)
+	_ = p.AddConstraint([]int{x, y}, []float64{3, 2}, LE, 18)
+	if st := p.Solve(); st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	obj, _ := p.Objective()
+	if !approx(obj, 36) {
+		t.Fatalf("obj = %v, want 36", obj)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x <= 4 -> x=4, y=6, obj 16.
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	y := p.AddVariable(2, "y")
+	_ = p.AddConstraint([]int{x, y}, []float64{1, 1}, EQ, 10)
+	_ = p.AddConstraint([]int{x}, []float64{1}, LE, 4)
+	if st := p.Solve(); st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	obj, _ := p.Objective()
+	if !approx(obj, 16) {
+		t.Fatalf("obj = %v, want 16", obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	_ = p.AddConstraint([]int{x}, []float64{1}, LE, 1)
+	_ = p.AddConstraint([]int{x}, []float64{1}, GE, 2)
+	if st := p.Solve(); st != Infeasible {
+		t.Fatalf("status %v, want infeasible", st)
+	}
+	if _, err := p.Objective(); err == nil {
+		t.Fatal("Objective should error when not optimal")
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(-1, "x") // min -x with x unbounded above
+	_ = p.AddConstraint([]int{x}, []float64{1}, GE, 0)
+	if st := p.Solve(); st != Unbounded {
+		t.Fatalf("status %v, want unbounded", st)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3)
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	_ = p.AddConstraint([]int{x}, []float64{-1}, LE, -3)
+	if st := p.Solve(); st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	obj, _ := p.Objective()
+	if !approx(obj, 3) {
+		t.Fatalf("obj = %v, want 3", obj)
+	}
+}
+
+func TestRepeatedVariableAccumulates(t *testing.T) {
+	// min x s.t. x + x >= 4 -> x = 2.
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	_ = p.AddConstraint([]int{x, x}, []float64{1, 1}, GE, 4)
+	if st := p.Solve(); st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	obj, _ := p.Objective()
+	if !approx(obj, 2) {
+		t.Fatalf("obj = %v, want 2", obj)
+	}
+}
+
+func TestConstraintErrors(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	if err := p.AddConstraint([]int{x}, []float64{1, 2}, LE, 1); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if err := p.AddConstraint([]int{5}, []float64{1}, LE, 1); err == nil {
+		t.Fatal("expected out-of-range variable error")
+	}
+	if _, err := p.Value(0); err == nil {
+		t.Fatal("Value before Solve should error")
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// No constraints: min of 0 over x>=0 is 0 at x=0.
+	p := NewProblem()
+	x := p.AddVariable(1, "x")
+	if st := p.Solve(); st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	v, _ := p.Value(x)
+	if !approx(v, 0) {
+		t.Fatalf("x = %v, want 0", v)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status.String broken")
+	}
+	if Status(42).String() == "" {
+		t.Fatal("unknown status should still render")
+	}
+}

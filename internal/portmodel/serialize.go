@@ -1,0 +1,54 @@
+package portmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// jsonUop is the wire form of a µop: explicit port list instead of a
+// bitmask, so the JSON is human-readable and stable across versions.
+type jsonUop struct {
+	Ports []int `json:"ports"`
+	Count int   `json:"count"`
+}
+
+type jsonMapping struct {
+	NumPorts int                  `json:"num_ports"`
+	Usage    map[string][]jsonUop `json:"usage"`
+}
+
+// MarshalJSON renders the mapping with explicit port lists.
+func (m *Mapping) MarshalJSON() ([]byte, error) {
+	out := jsonMapping{NumPorts: m.NumPorts, Usage: make(map[string][]jsonUop, len(m.Usage))}
+	for key, u := range m.Usage {
+		ju := make([]jsonUop, 0, len(u))
+		for _, x := range u.Clone().Normalize() {
+			ju = append(ju, jsonUop{Ports: x.Ports.Ports(), Count: x.Count})
+		}
+		out.Usage[key] = ju
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the explicit-port-list form.
+func (m *Mapping) UnmarshalJSON(data []byte) error {
+	var in jsonMapping
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.NumPorts <= 0 || in.NumPorts > MaxPorts {
+		return fmt.Errorf("portmodel: invalid num_ports %d", in.NumPorts)
+	}
+	m.NumPorts = in.NumPorts
+	m.Usage = make(map[string]Usage, len(in.Usage))
+	for key, ju := range in.Usage {
+		u := make(Usage, 0, len(ju))
+		for _, x := range ju {
+			sort.Ints(x.Ports)
+			u = append(u, Uop{Ports: MakePortSet(x.Ports...), Count: x.Count})
+		}
+		m.Usage[key] = u.Normalize()
+	}
+	return m.Validate()
+}

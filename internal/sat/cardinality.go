@@ -1,0 +1,93 @@
+package sat
+
+// Cardinality constraint encodings. The CEGAR encoding of package smt
+// constrains each µop to use exactly n ports, so we provide
+// AtMostK/AtLeastK/ExactlyK over arbitrary literal sets using the
+// sequential-counter encoding (Sinz 2005), which is unit-propagation
+// complete and introduces O(n·k) auxiliary variables.
+
+// AddAtMostK constrains that at most k of the literals are true.
+func (s *Solver) AddAtMostK(lits []Lit, k int) error {
+	n := len(lits)
+	if k < 0 {
+		// No literal may be true; in fact the constraint is
+		// unsatisfiable if any literal exists and k < 0 only when a
+		// literal is forced; encode as all-false.
+		for _, l := range lits {
+			if err := s.AddClause(l.Not()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if k >= n {
+		return nil // trivially satisfied
+	}
+	if k == 0 {
+		for _, l := range lits {
+			if err := s.AddClause(l.Not()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Sequential counter: r[i][j] means "at least j+1 of lits[0..i] are true".
+	r := make([][]Lit, n)
+	for i := 0; i < n; i++ {
+		r[i] = make([]Lit, k)
+		for j := 0; j < k; j++ {
+			r[i][j] = NewLit(s.NewVar(), false)
+		}
+	}
+	for i := 0; i < n; i++ {
+		// lits[i] -> r[i][0]
+		if err := s.AddClause(lits[i].Not(), r[i][0]); err != nil {
+			return err
+		}
+		if i > 0 {
+			for j := 0; j < k; j++ {
+				// r[i-1][j] -> r[i][j]
+				if err := s.AddClause(r[i-1][j].Not(), r[i][j]); err != nil {
+					return err
+				}
+			}
+			for j := 1; j < k; j++ {
+				// lits[i] ∧ r[i-1][j-1] -> r[i][j]
+				if err := s.AddClause(lits[i].Not(), r[i-1][j-1].Not(), r[i][j]); err != nil {
+					return err
+				}
+			}
+			// lits[i] ∧ r[i-1][k-1] -> conflict
+			if err := s.AddClause(lits[i].Not(), r[i-1][k-1].Not()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AddAtLeastK constrains that at least k of the literals are true,
+// implemented as at-most-(n-k) of the negations.
+func (s *Solver) AddAtLeastK(lits []Lit, k int) error {
+	if k <= 0 {
+		return nil
+	}
+	n := len(lits)
+	if k > n {
+		// Unsatisfiable: force the empty clause.
+		return s.AddClause()
+	}
+	neg := make([]Lit, n)
+	for i, l := range lits {
+		neg[i] = l.Not()
+	}
+	return s.AddAtMostK(neg, n-k)
+}
+
+// AddExactlyK constrains that exactly k of the literals are true.
+func (s *Solver) AddExactlyK(lits []Lit, k int) error {
+	if err := s.AddAtMostK(lits, k); err != nil {
+		return err
+	}
+	return s.AddAtLeastK(lits, k)
+}

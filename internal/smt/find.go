@@ -1,0 +1,380 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+
+	"zenport/internal/portmodel"
+	"zenport/internal/sat"
+)
+
+// ErrNoMapping is returned by FindMapping when no port mapping is
+// consistent with the measured experiments: the processor does not
+// follow the port mapping model on these instructions (§3.3, l. 2 of
+// Algorithm 2 returning None).
+var ErrNoMapping = errors.New("smt: no port mapping is consistent with the experiments")
+
+// maxTheoryIterations bounds the DPLL(T) refinement loop per query.
+const maxTheoryIterations = 200000
+
+// FindMapping searches a port mapping consistent with all measured
+// experiments (the paper's findMapping, §3.3.3). It returns
+// ErrNoMapping if the observations contradict the model.
+func (in *Instance) FindMapping(exps []MeasuredExp) (*portmodel.Mapping, error) {
+	enc, err := in.encode(true)
+	if err != nil {
+		return nil, err
+	}
+	for iter := 0; iter < maxTheoryIterations; iter++ {
+		if enc.s.Solve() != sat.Sat {
+			return nil, ErrNoMapping
+		}
+		m, byUop := in.decode(enc)
+		vs, err := in.checkExps(m, exps)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) == 0 {
+			return m, nil
+		}
+		// Theory conflict: learn generalized lemmas and re-solve.
+		if err := in.learnViolations(enc, m, byUop, exps, vs); err != nil {
+			if errors.Is(err, errUnsatLemma) {
+				return nil, ErrNoMapping
+			}
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("smt: theory refinement did not converge")
+}
+
+// assertLastLemma adds the most recently learned lemma to a live
+// solver, so the refinement loop does not rebuild the encoding.
+func (in *Instance) assertLastLemma(enc *encoding) error {
+	lem := in.lemmas[len(in.lemmas)-1]
+	clause := make([]sat.Lit, len(lem.lits))
+	for i, l := range lem.lits {
+		clause[i] = sat.NewLit(enc.mvar[l.uop][l.port], l.neg)
+	}
+	return enc.s.AddClause(clause...)
+}
+
+// blockModel adds a clause excluding the exact current assignment of
+// the m-variables (used to enumerate distinct mappings). For µops
+// with an exact cardinality constraint, negating just the true
+// literals suffices: any other admissible assignment must drop one of
+// the current ports. Free-cardinality µops additionally contribute
+// their false literals.
+func (in *Instance) blockModel(enc *encoding, byUop []portmodel.PortSet) error {
+	var clause []sat.Lit
+	for u, spec := range in.Uops {
+		for k := 0; k < in.NumPorts; k++ {
+			has := byUop[u].Has(k)
+			if has {
+				clause = append(clause, sat.NewLit(enc.mvar[u][k], true))
+			} else if spec.NumPorts == 0 {
+				clause = append(clause, sat.NewLit(enc.mvar[u][k], false))
+			}
+		}
+	}
+	return enc.s.AddClause(clause...)
+}
+
+// OtherMapping is the result of FindOtherMapping: a second consistent
+// mapping and an experiment whose modeled throughputs differ by more
+// than 2ε·|e| between the two mappings (§3.3.4).
+type OtherMapping struct {
+	Mapping *portmodel.Mapping
+	Exp     portmodel.Experiment
+	T1, T2  float64
+}
+
+// FindOtherMapping searches a mapping m2 that is also consistent with
+// the experiments but distinguishable from m1 by a new experiment
+// (the paper's findOtherMapping). Experiments are searched in
+// stratified order: first over at most maxDistinct distinct
+// instructions with total size growing up to maxTotal (§3.3.4,
+// "stratified approach"). It returns nil if every consistent mapping
+// is indistinguishable from m1 within those bounds.
+func (in *Instance) FindOtherMapping(exps []MeasuredExp, m1 *portmodel.Mapping, maxDistinct, maxTotal, maxCandidates int) (*OtherMapping, error) {
+	enc, err := in.encode(true)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-enumerate the candidate experiments in stratified order and
+	// evaluate m1 on each once; every examined m2 reuses them.
+	cands, err := in.candidateExps(m1, maxDistinct, maxTotal)
+	if err != nil {
+		return nil, err
+	}
+	candidates := 0
+	for iter := 0; iter < maxTheoryIterations && candidates < maxCandidates; iter++ {
+		if enc.s.Solve() != sat.Sat {
+			return nil, nil
+		}
+		m2, byUop := in.decode(enc)
+		vs, err := in.checkExps(m2, exps)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) > 0 {
+			if err := in.learnViolations(enc, m2, byUop, exps, vs); err != nil {
+				if errors.Is(err, errUnsatLemma) {
+					return nil, nil
+				}
+				return nil, err
+			}
+			continue
+		}
+		candidates++
+		// m2 is consistent. Indistinguishable permutations of m1 are
+		// skipped outright.
+		if !sameUsage(m1, m2) && !m1.Isomorphic(m2) {
+			if exp, t1, t2, err := in.distinguishPre(m1, m2, cands); err != nil {
+				return nil, err
+			} else if exp != nil {
+				return &OtherMapping{Mapping: m2, Exp: exp, T1: t1, T2: t2}, nil
+			}
+		}
+		// Indistinguishable within bounds: enumerate the next one.
+		if err := in.blockModel(enc, byUop); err != nil {
+			return nil, nil
+		}
+	}
+	return nil, nil
+}
+
+// sameUsage reports whether two mappings assign identical usages.
+func sameUsage(a, b *portmodel.Mapping) bool {
+	if len(a.Usage) != len(b.Usage) {
+		return false
+	}
+	for k, u := range a.Usage {
+		v, ok := b.Usage[k]
+		if !ok || !u.Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// candExp is a pre-enumerated candidate experiment with its m1 value.
+type candExp struct {
+	exp portmodel.Experiment
+	t1  float64
+}
+
+// candidateExps enumerates all experiments within the stratified
+// bounds, ordered by total size, annotated with their model value
+// under m1.
+func (in *Instance) candidateExps(m1 *portmodel.Mapping, maxDistinct, maxTotal int) ([]candExp, error) {
+	keys := in.keys()
+	var out []candExp
+	for total := 1; total <= maxTotal; total++ {
+		e := make(portmodel.Experiment)
+		var rec func(start, remaining, distinct int) error
+		rec = func(start, remaining, distinct int) error {
+			if remaining == 0 {
+				t1, err := in.modelTInv(m1, e)
+				if err != nil {
+					return err
+				}
+				out = append(out, candExp{exp: e.Clone(), t1: t1})
+				return nil
+			}
+			if start >= len(keys) || distinct == 0 {
+				return nil
+			}
+			for i := start; i < len(keys); i++ {
+				for c := 1; c <= remaining; c++ {
+					e[keys[i]] = c
+					if err := rec(i+1, remaining-c, distinct-1); err != nil {
+						return err
+					}
+					delete(e, keys[i])
+				}
+			}
+			return nil
+		}
+		if err := rec(0, total, maxDistinct); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// distinguishPre searches the pre-enumerated experiments for one that
+// distinguishes m2 from m1, skipping experiments that do not involve
+// any instruction on which the two mappings differ.
+func (in *Instance) distinguishPre(m1, m2 *portmodel.Mapping, cands []candExp) (portmodel.Experiment, float64, float64, error) {
+	diff := map[string]bool{}
+	for k, u := range m1.Usage {
+		if v, ok := m2.Usage[k]; !ok || !u.Equal(v) {
+			diff[k] = true
+		}
+	}
+	need := 2 * in.Epsilon
+	for _, c := range cands {
+		touches := false
+		for k := range c.exp {
+			if diff[k] {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		t2, err := in.modelTInv(m2, c.exp)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if abs(c.t1-t2) > need*float64(c.exp.Len()) {
+			return c.exp.Clone(), c.t1, t2, nil
+		}
+	}
+	return nil, 0, 0, nil
+}
+
+// distinguish searches an experiment whose modeled inverse
+// throughputs under m1 and m2 differ by more than 2ε·|e|, in
+// stratified order of experiment size. It is the unmemoized variant
+// of distinguishPre, kept for single-shot queries.
+func (in *Instance) distinguish(m1, m2 *portmodel.Mapping, maxDistinct, maxTotal int) (portmodel.Experiment, float64, float64, error) {
+	keys := in.keys()
+	need := 2 * in.Epsilon
+	for total := 1; total <= maxTotal; total++ {
+		found, t1, t2, err := in.searchSize(m1, m2, keys, total, maxDistinct, need)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if found != nil {
+			return found, t1, t2, nil
+		}
+	}
+	return nil, 0, 0, nil
+}
+
+// searchSize enumerates experiments of exactly the given total size
+// with at most maxDistinct distinct instructions.
+func (in *Instance) searchSize(m1, m2 *portmodel.Mapping, keys []string, total, maxDistinct int, need float64) (portmodel.Experiment, float64, float64, error) {
+	e := make(portmodel.Experiment)
+	var rec func(start, remaining, distinct int) (portmodel.Experiment, float64, float64, error)
+	rec = func(start, remaining, distinct int) (portmodel.Experiment, float64, float64, error) {
+		if remaining == 0 {
+			t1, err := in.modelTInv(m1, e)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			t2, err := in.modelTInv(m2, e)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if abs(t1-t2) > need*float64(total) {
+				return e.Clone(), t1, t2, nil
+			}
+			return nil, 0, 0, nil
+		}
+		if start >= len(keys) || distinct == 0 {
+			return nil, 0, 0, nil
+		}
+		for i := start; i < len(keys); i++ {
+			for c := 1; c <= remaining; c++ {
+				e[keys[i]] = c
+				found, t1, t2, err := rec(i+1, remaining-c, distinct-1)
+				delete(e, keys[i])
+				if err != nil || found != nil {
+					return found, t1, t2, err
+				}
+			}
+		}
+		return nil, 0, 0, nil
+	}
+	return rec(0, total, maxDistinct)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SortedKeys exposes the instance's instruction keys (sorted), mainly
+// for reporting.
+func (in *Instance) SortedKeys() []string { return in.keys() }
+
+// LemmaCount returns the number of theory lemmas learned so far.
+func (in *Instance) LemmaCount() int { return len(in.lemmas) }
+
+// Reset drops all learned lemmas (used between independent runs on
+// the same instance shape).
+func (in *Instance) Reset() { in.lemmas = nil }
+
+// Clone returns a copy of the instance without learned lemmas.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{NumPorts: in.NumPorts, Rmax: in.Rmax, Epsilon: in.Epsilon}
+	out.Uops = append([]UopSpec(nil), in.Uops...)
+	return out
+}
+
+// Without returns a copy of the instance with all µops of the given
+// keys removed (used for §4.3 culprit isolation after UNSAT). Learned
+// lemmas survive when their source experiment avoids the removed keys
+// (their µop indices are remapped), so repeated sub-problem solves
+// stay cheap.
+func (in *Instance) Without(keys map[string]bool) *Instance {
+	out := &Instance{NumPorts: in.NumPorts, Rmax: in.Rmax, Epsilon: in.Epsilon}
+	remap := make([]int, len(in.Uops))
+	for i, u := range in.Uops {
+		if keys[u.Key] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(out.Uops)
+		out.Uops = append(out.Uops, u)
+	}
+	for _, lem := range in.lemmas {
+		keep := true
+		for k := range lem.src {
+			if keys[k] {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		nl := lemma{src: lem.src}
+		ok := true
+		for _, l := range lem.lits {
+			if remap[l.uop] < 0 {
+				ok = false
+				break
+			}
+			nl.lits = append(nl.lits, lemmaLit{uop: remap[l.uop], port: l.port, neg: l.neg})
+		}
+		if ok {
+			out.lemmas = append(out.lemmas, nl)
+		}
+	}
+	return out
+}
+
+// FilterExps drops experiments that mention any of the given keys.
+func FilterExps(exps []MeasuredExp, exclude map[string]bool) []MeasuredExp {
+	var out []MeasuredExp
+	for _, me := range exps {
+		keep := true
+		for k := range me.Exp {
+			if exclude[k] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, me)
+		}
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package smt
+
+import (
+	"math"
+	"testing"
+
+	"zenport/internal/portmodel"
+)
+
+// toyInstance is the Figure 4 setting: two single-µop instructions
+// iA, iB over two ports, each with a 1-port µop (tp⁻¹ = 1.0 each).
+func toyInstance() *Instance {
+	return &Instance{
+		NumPorts: 2,
+		Rmax:     0,
+		Epsilon:  0.02,
+		Uops: []UopSpec{
+			{Key: "iA", NumPorts: 1},
+			{Key: "iB", NumPorts: 1},
+		},
+	}
+}
+
+func toyExps() []MeasuredExp {
+	return []MeasuredExp{
+		{Exp: portmodel.Exp("iA"), TInv: 1.0},
+		{Exp: portmodel.Exp("iB"), TInv: 1.0},
+	}
+}
+
+func TestFindMappingToy(t *testing.T) {
+	in := toyInstance()
+	m, err := in.FindMapping(toyExps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"iA", "iB"} {
+		u, ok := m.Get(key)
+		if !ok || u.TotalUops() != 1 || u[0].Ports.Size() != 1 {
+			t.Fatalf("%s: usage %v", key, u)
+		}
+	}
+	// The found mapping must reproduce the measurements.
+	for _, me := range toyExps() {
+		got, err := m.InverseThroughput(me.Exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-me.TInv) > 0.03 {
+			t.Fatalf("found mapping gives %v for %v", got, me.Exp)
+		}
+	}
+}
+
+func TestFindOtherMappingToyFigure4(t *testing.T) {
+	// With only singleton measurements, same-port and distinct-port
+	// mappings are both consistent; findOtherMapping must produce a
+	// distinguishing experiment — the paper gives [iA, iB] with
+	// throughputs 1.0 vs 2.0.
+	in := toyInstance()
+	exps := toyExps()
+	m1, err := in.FindMapping(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := in.FindOtherMapping(exps, m1, 2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == nil {
+		t.Fatal("expected a distinguishable second mapping")
+	}
+	if other.Exp.Len() != 2 || other.Exp["iA"] != 1 || other.Exp["iB"] != 1 {
+		t.Fatalf("distinguishing experiment %v, want [iA, iB]", other.Exp)
+	}
+	lo, hi := other.T1, other.T2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if math.Abs(lo-1.0) > 1e-9 || math.Abs(hi-2.0) > 1e-9 {
+		t.Fatalf("throughputs %v/%v, want 1.0/2.0", other.T1, other.T2)
+	}
+}
+
+func TestCEGARToyConvergesToTruth(t *testing.T) {
+	// Full Algorithm 2 against a ground truth where iA and iB share
+	// port 0: the loop must converge to a mapping isomorphic to it.
+	truth := portmodel.NewMapping(2)
+	truth.Set("iA", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+	truth.Set("iB", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+
+	in := toyInstance()
+	exps := toyExps()
+	for iter := 0; iter < 20; iter++ {
+		m1, err := in.FindMapping(exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		other, err := in.FindOtherMapping(exps, m1, 2, 4, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other == nil {
+			if !m1.Isomorphic(truth) {
+				t.Fatalf("converged to wrong mapping:\n%v", m1)
+			}
+			return
+		}
+		// "Measure" the new experiment on the ground truth.
+		tm, err := truth.InverseThroughput(other.Exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, MeasuredExp{Exp: other.Exp, TInv: tm})
+	}
+	t.Fatal("CEGAR did not converge")
+}
+
+func TestCEGARToyDistinctPorts(t *testing.T) {
+	// Same, but the truth has iA and iB on different ports.
+	truth := portmodel.NewMapping(2)
+	truth.Set("iA", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+	truth.Set("iB", portmodel.Usage{{Ports: portmodel.MakePortSet(1), Count: 1}})
+
+	in := toyInstance()
+	exps := toyExps()
+	for iter := 0; iter < 20; iter++ {
+		m1, err := in.FindMapping(exps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		other, err := in.FindOtherMapping(exps, m1, 2, 4, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other == nil {
+			if !m1.Isomorphic(truth) {
+				t.Fatalf("converged to wrong mapping:\n%v", m1)
+			}
+			return
+		}
+		tm, err := truth.InverseThroughput(other.Exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, MeasuredExp{Exp: other.Exp, TInv: tm})
+	}
+	t.Fatal("CEGAR did not converge")
+}
+
+func TestFindMappingUnsatOnContradiction(t *testing.T) {
+	// A single 1-port instruction cannot have tp⁻¹ 1.0 alone but 3.0
+	// in a pair of two copies... Model: [2×iA] must be 2.0; claim 3.0.
+	in := &Instance{NumPorts: 2, Epsilon: 0.02, Uops: []UopSpec{{Key: "iA", NumPorts: 1}}}
+	exps := []MeasuredExp{
+		{Exp: portmodel.Exp("iA"), TInv: 1.0},
+		{Exp: portmodel.Experiment{"iA": 2}, TInv: 3.0},
+	}
+	if _, err := in.FindMapping(exps); err != ErrNoMapping {
+		t.Fatalf("expected ErrNoMapping, got %v", err)
+	}
+}
+
+func TestFindMappingImulAnomalyUnsat(t *testing.T) {
+	// The §4.3 imul case: add has 4 ports, imul 1; the measured
+	// mixture 4×add+imul = 1.5 cycles fits no mapping (1.25 or 1.0
+	// are the only model values).
+	in := &Instance{
+		NumPorts: 10, Rmax: 5, Epsilon: 0.02,
+		Uops: []UopSpec{
+			{Key: "add", NumPorts: 4},
+			{Key: "imul", NumPorts: 1},
+		},
+	}
+	exps := []MeasuredExp{
+		{Exp: portmodel.Exp("add"), TInv: 0.25},
+		{Exp: portmodel.Exp("imul"), TInv: 1.0},
+		{Exp: portmodel.Experiment{"add": 4, "imul": 1}, TInv: 1.5},
+	}
+	if _, err := in.FindMapping(exps); err != ErrNoMapping {
+		t.Fatalf("expected ErrNoMapping, got %v", err)
+	}
+}
+
+func TestRmaxMakesMappingsIndistinguishable(t *testing.T) {
+	// §4.3: with the 5-IPC bottleneck, whether a 4-port ALU class
+	// shares a port with a 4-port FP class is not distinguishable.
+	in := &Instance{
+		NumPorts: 8, Rmax: 5, Epsilon: 0.02,
+		Uops: []UopSpec{
+			{Key: "add", NumPorts: 4},
+			{Key: "vpor", NumPorts: 4},
+		},
+	}
+	exps := []MeasuredExp{
+		{Exp: portmodel.Exp("add"), TInv: 0.25},
+		{Exp: portmodel.Exp("vpor"), TInv: 0.25},
+		// Disjoint in truth: 4+4 on 8 ports, frontend-bound.
+		{Exp: portmodel.Experiment{"add": 4, "vpor": 4}, TInv: 1.6},
+	}
+	m1, err := in.FindMapping(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Rmax, overlapping and disjoint variants would be
+	// distinguishable by flooding; with Rmax = 5 any distinguishing
+	// experiment's model difference is masked below the bottleneck
+	// for small sizes. We only require that the search terminates
+	// and that, if a distinguishing experiment is claimed, it indeed
+	// differs by more than 2ε|e| under the bounded model.
+	other, err := in.FindOtherMapping(exps, m1, 2, 6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other != nil {
+		d := math.Abs(other.T1 - other.T2)
+		if d <= 2*in.Epsilon*float64(other.Exp.Len()) {
+			t.Fatalf("claimed distinguishing experiment %v differs by only %v", other.Exp, d)
+		}
+	}
+}
+
+func TestTiedUopConstraint(t *testing.T) {
+	// An improper blocker (like the storing mov, §4.3) has two µops:
+	// one free, one tied to a proper blocker's port set.
+	in := &Instance{
+		NumPorts: 4, Rmax: 0, Epsilon: 0.02,
+		Uops: []UopSpec{
+			{Key: "alu", NumPorts: 2},
+			{Key: "load", NumPorts: 1},
+			{Key: "store", NumPorts: 1},
+			{Key: "store", TiedToBlocker: true},
+		},
+	}
+	exps := []MeasuredExp{
+		{Exp: portmodel.Exp("alu"), TInv: 0.5},
+		{Exp: portmodel.Exp("load"), TInv: 1.0},
+		{Exp: portmodel.Exp("store"), TInv: 1.0},
+	}
+	m, err := in.FindMapping(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Get("store")
+	if st.TotalUops() != 2 {
+		t.Fatalf("store usage %v, want 2 µops", st)
+	}
+	// One of the store µops must equal the alu or load µop's ports.
+	aluU, _ := m.Get("alu")
+	loadU, _ := m.Get("load")
+	tiedOK := false
+	for _, x := range st {
+		if x.Ports == aluU[0].Ports || x.Ports == loadU[0].Ports {
+			tiedOK = true
+		}
+	}
+	if !tiedOK {
+		t.Fatalf("no store µop tied to a proper blocker: store=%v alu=%v load=%v", st, aluU, loadU)
+	}
+}
+
+func TestInstanceHelpers(t *testing.T) {
+	in := toyInstance()
+	if got := in.SortedKeys(); len(got) != 2 || got[0] != "iA" || got[1] != "iB" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+	cl := in.Clone()
+	if len(cl.Uops) != 2 || cl.LemmaCount() != 0 {
+		t.Fatal("Clone broken")
+	}
+	w := in.Without(map[string]bool{"iA": true})
+	if len(w.Uops) != 1 || w.Uops[0].Key != "iB" {
+		t.Fatalf("Without = %+v", w.Uops)
+	}
+	exps := []MeasuredExp{
+		{Exp: portmodel.Exp("iA"), TInv: 1},
+		{Exp: portmodel.Exp("iB"), TInv: 1},
+		{Exp: portmodel.Experiment{"iA": 1, "iB": 1}, TInv: 1},
+	}
+	f := FilterExps(exps, map[string]bool{"iA": true})
+	if len(f) != 1 || f[0].Exp["iB"] != 1 {
+		t.Fatalf("FilterExps = %v", f)
+	}
+	in.lemmas = append(in.lemmas, lemma{lits: []lemmaLit{{0, 0, false}}, src: portmodel.Exp("iA")})
+	if in.LemmaCount() != 1 {
+		t.Fatal("LemmaCount broken")
+	}
+	in.Reset()
+	if in.LemmaCount() != 0 {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestFindMappingWithFrontendBoundMeasurements(t *testing.T) {
+	// Measurements at the frontend bound must be explainable: 10
+	// no-dependence 4-port instructions at Rmax=5 measure 2.0 even
+	// though the port model alone would say 2.5.
+	in := &Instance{
+		NumPorts: 8, Rmax: 5, Epsilon: 0.02,
+		Uops: []UopSpec{{Key: "a", NumPorts: 4}, {Key: "b", NumPorts: 4}},
+	}
+	exps := []MeasuredExp{
+		{Exp: portmodel.Exp("a"), TInv: 0.25},
+		{Exp: portmodel.Exp("b"), TInv: 0.25},
+		{Exp: portmodel.Experiment{"a": 4, "b": 4}, TInv: 1.6}, // frontend
+	}
+	m, err := in.FindMapping(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two classes must be disjoint: overlapping 4-port sets
+	// would give port time 8/|union| > 1.6 when union < 5... any
+	// overlap (union ≤ 7) gives mass 8 spread over union ports; with
+	// union=7 tp = 8/7 ≈ 1.14 < 1.6, so overlap is fine too — the
+	// Rmax bound masks it. Just verify consistency.
+	tm, err := m.InverseThroughputBounded(portmodel.Experiment{"a": 4, "b": 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm-1.6) > 0.02*8 {
+		t.Fatalf("model value %v inconsistent with 1.6", tm)
+	}
+}
+
+func TestDistinguishUnmemoizedAgreesWithPre(t *testing.T) {
+	in := toyInstance()
+	m1 := portmodel.NewMapping(2)
+	m1.Set("iA", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+	m1.Set("iB", portmodel.Usage{{Ports: portmodel.MakePortSet(1), Count: 1}})
+	m2 := portmodel.NewMapping(2)
+	m2.Set("iA", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+	m2.Set("iB", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+
+	e1, a1, b1, err := in.distinguish(m1, m2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := in.candidateExps(m1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, a2, b2, err := in.distinguishPre(m1, m2, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == nil || e2 == nil {
+		t.Fatal("both searches must find the distinguishing experiment")
+	}
+	if e1.String() != e2.String() || a1 != a2 || b1 != b2 {
+		t.Fatalf("variants disagree: %v (%v,%v) vs %v (%v,%v)", e1, a1, b1, e2, a2, b2)
+	}
+	// Indistinguishable case: identical mappings.
+	e3, _, _, err := in.distinguish(m1, m1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 != nil {
+		t.Fatalf("identical mappings distinguished by %v", e3)
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMedianMean(t *testing.T) {
+	if !approx(Median([]float64{3, 1, 2}), 2) {
+		t.Fatal("odd median")
+	}
+	if !approx(Median([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("even median")
+	}
+	if !math.IsNaN(Median(nil)) || !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty inputs should give NaN")
+	}
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean")
+	}
+	// Median must not reorder its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	m, err := MAPE([]float64{1.1, 0.9}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m, 0.1) {
+		t.Fatalf("MAPE = %v", m)
+	}
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("all-zero measurements accepted")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	r, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r, 1) {
+		t.Fatalf("perfect correlation = %v", r)
+	}
+	r, err = Pearson([]float64{1, 2, 3}, []float64{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r, -1) {
+		t.Fatalf("perfect anti-correlation = %v", r)
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	tau, err := KendallTau([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(tau, 1) {
+		t.Fatalf("τ = %v, want 1", tau)
+	}
+	tau, err = KendallTau([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(tau, -1) {
+		t.Fatalf("τ = %v, want -1", tau)
+	}
+	// One swapped pair of four: τ = (5-1)/6 = 2/3.
+	tau, err = KendallTau([]float64{1, 2, 3, 4}, []float64{1, 2, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(tau, 2.0/3) {
+		t.Fatalf("τ = %v, want 2/3", tau)
+	}
+	if _, err := KendallTau([]float64{1, 1}, []float64{1, 1}); err == nil {
+		t.Fatal("all ties accepted")
+	}
+}
+
+func TestHistogram2D(t *testing.T) {
+	h := NewHistogram2D(5, 5, 10)
+	h.Add(0.1, 0.1)
+	h.Add(4.9, 4.9)
+	h.Add(7, 7)   // clamped into last bucket
+	h.Add(-1, -1) // clamped into first bucket
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0][0] != 2 || h.Counts[9][9] != 2 {
+		t.Fatalf("bucket counts wrong: %v", h.Counts)
+	}
+	art := h.Render()
+	if len(art) == 0 {
+		t.Fatal("empty render")
+	}
+	lines := 0
+	for _, c := range art {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 10 {
+		t.Fatalf("render has %d lines, want 10", lines)
+	}
+}

@@ -1,0 +1,189 @@
+package zen
+
+import (
+	"zenport/internal/isa"
+)
+
+// genProblem generates the instruction groups with performance
+// behaviour outside the port mapping model, following §4.1.2–§4.2:
+// non-pipelined FP ops, measurement-unstable instructions, and
+// three-read FP operations.
+func genProblem() []*Spec {
+	var out []*Spec
+	add := func(sp *Spec) { out = append(out, sp) }
+
+	// Non-pipelined FP: divisions, square roots, reciprocals. The
+	// functional unit accepts a new µop only every Occupancy cycles,
+	// so the measured throughput is slower than the port mapping
+	// model permits (§4.1.2).
+	type slow struct {
+		mn  string
+		n   int // register operands
+		occ float64
+	}
+	for _, s := range []slow{
+		{"vdivps", 3, 10}, {"vdivpd", 3, 13}, {"vdivss", 3, 10}, {"vdivsd", 3, 13},
+		{"vsqrtps", 2, 12}, {"vsqrtpd", 2, 15}, {"vsqrtss", 2, 12}, {"vsqrtsd", 2, 15},
+		{"vrcpps", 2, 4}, {"vrcpss", 2, 4}, {"vrsqrtps", 2, 4}, {"vrsqrtss", 2, 4},
+	} {
+		ops := make([]isa.Operand, s.n)
+		for i := range ops {
+			ops[i] = isa.X()
+		}
+		add(&Spec{
+			Scheme:    isa.Scheme{Mnemonic: s.mn, Operands: ops, Extension: "AVX", Attr: isa.AttrNonPipelined},
+			MacroOps:  1,
+			Uops:      u1(FPROUND), // the divider sits behind FP3
+			Occupancy: s.occ,
+		})
+	}
+
+	// Conditional moves: unstable when benchmarked with other
+	// instructions (§4.2).
+	for _, cc := range condCodes {
+		for _, w := range []int{16, 32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: "cmov" + cc, Operands: []isa.Operand{isa.R(w), isa.R(w)}, Extension: "BASE", Attr: isa.AttrUnstablePair},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+		}
+	}
+
+	// AES operations: unstable when paired (§4.2).
+	for _, mn := range []string{"vaesenc", "vaesdec", "vaesenclast", "vaesdeclast"} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.X(), isa.X(), isa.X()}, Extension: "AES", Attr: isa.AttrUnstablePair},
+			MacroOps: 1, Uops: u1(FPMUL),
+		})
+	}
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "vaesimc", Operands: []isa.Operand{isa.X(), isa.X()}, Extension: "AES", Attr: isa.AttrUnstablePair},
+		MacroOps: 1, Uops: u1(FPMUL),
+	})
+
+	// Numerical conversions of the vcvt* family: unstable when
+	// paired (§4.2).
+	cvt2 := []string{
+		"vcvtdq2ps", "vcvtps2dq", "vcvttps2dq", "vcvtdq2pd", "vcvtpd2dq",
+		"vcvttpd2dq", "vcvtps2pd", "vcvtpd2ps", "vcvtss2sd", "vcvtsd2ss",
+	}
+	for _, mn := range cvt2 {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.X(), isa.X()}, Extension: "AVX", Attr: isa.AttrUnstablePair},
+			MacroOps: 1, Uops: u1(FPROUND),
+		})
+	}
+	for _, mn := range []string{"vcvtsi2ss", "vcvtsi2sd"} {
+		for _, w := range []int{32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.X(), isa.X(), isa.R(w)}, Extension: "AVX", Attr: isa.AttrUnstablePair},
+				MacroOps: 1, Uops: u1(FPROUND),
+			})
+		}
+	}
+	for _, mn := range []string{"vcvtss2si", "vcvtsd2si", "vcvttss2si", "vcvttsd2si"} {
+		for _, w := range []int{32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.X()}, Extension: "AVX", Attr: isa.AttrUnstablePair},
+				MacroOps: 1, Uops: u1(FPROUND),
+			})
+		}
+	}
+
+	// Double-precision FP multiplication: unstable when paired
+	// (§4.2). Single-precision multiplies stay in the clean FPMUL
+	// family of gen_vector.go.
+	for _, mn := range []string{"vmulpd", "vmulsd"} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.X(), isa.X(), isa.X()}, Extension: "AVX", Attr: isa.AttrUnstablePair | isa.AttrCommon},
+			MacroOps: 1, Uops: u1(FPMUL),
+		})
+	}
+
+	// Three-read FP/vector operations: FMA and variable blends. They
+	// execute on two FP ports but occupy the data lines of a third
+	// port, which contradicts the port mapping model (§4.2).
+	fma := []string{
+		"vfmadd132ps", "vfmadd213ps", "vfmadd231ps",
+		"vfmadd132pd", "vfmadd213pd", "vfmadd231pd",
+		"vfmadd132ss", "vfmadd213ss", "vfmadd231ss",
+		"vfmadd132sd", "vfmadd213sd", "vfmadd231sd",
+		"vfmsub132ps", "vfmsub213ps", "vfmsub231ps",
+		"vfnmadd132ps", "vfnmadd213ps", "vfnmadd231ps",
+	}
+	for _, mn := range fma {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.X(), isa.X(), isa.X()}, Extension: "FMA", Attr: isa.AttrThreeRead},
+			MacroOps: 1, Uops: u1(FPMUL),
+		})
+	}
+	for _, mn := range []string{"vblendvps", "vblendvpd", "vpblendvb"} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.X(), isa.X(), isa.X(), isa.X()}, Extension: "AVX", Attr: isa.AttrThreeRead},
+			MacroOps: 1, Uops: u1(SHUF),
+		})
+	}
+
+	// Hardwired-operand schemes: one-operand multiplies accumulate
+	// into ax/dx:ax, and ah-register arithmetic cannot be measured
+	// without dependency effects (§4.1.2).
+	for _, mn := range []string{"mul", "imul"} {
+		for _, w := range []int{8, 16, 32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w)}, Extension: "BASE", Attr: isa.AttrHardwired},
+				MacroOps: 2, Uops: u1(IMULP),
+			})
+		}
+	}
+	for _, mn := range []string{"add", "sub", "mov"} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.Op(isa.AH, 8), isa.Op(isa.AH, 8)}, Extension: "BASE", Attr: isa.AttrHardwired},
+			MacroOps: 1, Uops: u1(ALU),
+		})
+	}
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "cwd", Extension: "BASE", Attr: isa.AttrHardwired},
+		MacroOps: 1, Uops: u1(ALU),
+	})
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "cdq", Extension: "BASE", Attr: isa.AttrHardwired},
+		MacroOps: 1, Uops: u1(ALU),
+	})
+	return out
+}
+
+// genExcludedUpfront generates schemes that the case study removes
+// before any measurement: control flow, system instructions, and
+// instructions with input-dependent performance (§4, "We take the
+// x86-64 instruction schemes from uops.info and remove...").
+func genExcludedUpfront() []*Spec {
+	var out []*Spec
+	add := func(sp *Spec) { out = append(out, sp) }
+
+	// Control flow.
+	add(&Spec{Scheme: isa.Scheme{Mnemonic: "jmp", Operands: []isa.Operand{isa.I(32)}, Extension: "BASE", Attr: isa.AttrControlFlow}, MacroOps: 1, Uops: u1(ALU)})
+	for _, cc := range condCodes {
+		add(&Spec{Scheme: isa.Scheme{Mnemonic: "j" + cc, Operands: []isa.Operand{isa.I(32)}, Extension: "BASE", Attr: isa.AttrControlFlow}, MacroOps: 1, Uops: u1(ALU)})
+	}
+	add(&Spec{Scheme: isa.Scheme{Mnemonic: "call", Operands: []isa.Operand{isa.I(32)}, Extension: "BASE", Attr: isa.AttrControlFlow}, MacroOps: 2, Uops: cat(u1(ALU), u1(STORE))})
+	add(&Spec{Scheme: isa.Scheme{Mnemonic: "ret", Extension: "BASE", Attr: isa.AttrControlFlow}, MacroOps: 1, Uops: cat(u1(ALU), u1(LOAD))})
+	add(&Spec{Scheme: isa.Scheme{Mnemonic: "loop", Operands: []isa.Operand{isa.I(8)}, Extension: "BASE", Attr: isa.AttrControlFlow}, MacroOps: 1, Uops: u1(ALU)})
+
+	// System instructions.
+	for _, mn := range []string{"syscall", "cpuid", "rdtsc", "rdtscp", "lfence", "mfence", "sfence", "clflush", "int3", "hlt", "wbinvd", "invd", "rdmsr", "wrmsr"} {
+		add(&Spec{Scheme: isa.Scheme{Mnemonic: mn, Extension: "BASE", Attr: isa.AttrSystem}, MacroOps: 1, Uops: u1(ALU)})
+	}
+
+	// Input-dependent performance: integer division.
+	for _, mn := range []string{"div", "idiv"} {
+		for _, w := range []int{8, 16, 32, 64} {
+			add(&Spec{Scheme: isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w)}, Extension: "BASE", Attr: isa.AttrInputDependent}, MacroOps: 2, Uops: u1(IMULP), Occupancy: 20})
+			add(&Spec{Scheme: isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.M(w)}, Extension: "BASE", Attr: isa.AttrInputDependent}, MacroOps: 2, Uops: cat(u1(IMULP), u1(LOAD)), Occupancy: 20})
+		}
+	}
+	// Repeated string operations: input-dependent.
+	for _, mn := range []string{"rep movsb", "rep stosb", "rep cmpsb"} {
+		add(&Spec{Scheme: isa.Scheme{Mnemonic: mn, Extension: "BASE", Attr: isa.AttrInputDependent}, MacroOps: 8, Uops: cat(u1(LOAD), u1(STORE)), MSOps: 8})
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package zen
+
+import (
+	"zenport/internal/isa"
+	"zenport/internal/portmodel"
+)
+
+var gprWidths = []int{8, 16, 32, 64}
+
+// condCodes are the condition-code suffixes used for setcc/cmovcc.
+var condCodes = []string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// rmwExtraUops returns the µops of a read-modify-write memory form of
+// width w: a store µop, plus an extra AGU µop for operations on at
+// most 32 bits (§4.4, "as an exception...").
+func rmwExtraUops(w int) portmodel.Usage {
+	u := u1(STORE)
+	if w <= 32 {
+		u = cat(u, u1(AGU))
+	}
+	return u
+}
+
+// genScalarALU generates the scalar integer ALU schemes: the large
+// equivalence class "[6,7,8,9] — ALU ops" of Table 1 plus their
+// memory, immediate, and read-modify-write forms.
+func genScalarALU() []*Spec {
+	var out []*Spec
+	add := func(sp *Spec) { out = append(out, sp) }
+
+	common := map[string]bool{
+		"add": true, "sub": true, "and": true, "or": true, "xor": true,
+		"cmp": true, "test": true, "mov": true, "inc": true, "dec": true,
+		"shl": true, "shr": true, "sar": true, "lea": true, "movzx": true,
+		"movsx": true, "neg": true, "not": true, "setcc": true,
+	}
+	commonAttr := func(mn string) isa.Attr {
+		if common[mn] {
+			return isa.AttrCommon
+		}
+		return 0
+	}
+
+	// Two-operand arithmetic/logic with reg and imm source forms and
+	// the full set of memory forms.
+	type binMn struct {
+		name string
+		rmw  bool // has a mem-destination (read-modify-write) form
+	}
+	binary := []binMn{
+		{"add", true}, {"sub", true}, {"and", true}, {"or", true},
+		{"xor", true}, {"adc", true}, {"sbb", true},
+		{"cmp", false}, {"test", false},
+	}
+	for _, mn := range binary {
+		for _, w := range gprWidths {
+			attr := commonAttr(mn.name)
+			// reg, reg
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn.name, Operands: []isa.Operand{isa.R(w), isa.R(w)}, Extension: "BASE", Attr: attr},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+			// reg, imm
+			iw := w
+			if iw == 64 {
+				iw = 32 // 64-bit ALU ops take 32-bit immediates
+			}
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn.name, Operands: []isa.Operand{isa.R(w), isa.I(iw)}, Extension: "BASE", Attr: attr},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+			// reg, mem (load form)
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn.name, Operands: []isa.Operand{isa.R(w), isa.M(w)}, Extension: "BASE", Attr: attr},
+				MacroOps: 1, Uops: cat(u1(ALU), u1(LOAD)),
+			})
+			if mn.rmw {
+				// mem, reg and mem, imm (read-modify-write forms)
+				add(&Spec{
+					Scheme:   isa.Scheme{Mnemonic: mn.name, Operands: []isa.Operand{isa.M(w), isa.R(w)}, Extension: "BASE", Attr: attr},
+					MacroOps: 1, Uops: cat(u1(ALU), rmwExtraUops(w)),
+				})
+				add(&Spec{
+					Scheme:   isa.Scheme{Mnemonic: mn.name, Operands: []isa.Operand{isa.M(w), isa.I(iw)}, Extension: "BASE", Attr: attr},
+					MacroOps: 1, Uops: cat(u1(ALU), rmwExtraUops(w)),
+				})
+			} else {
+				// cmp/test mem, reg: load + compare, no store
+				add(&Spec{
+					Scheme:   isa.Scheme{Mnemonic: mn.name, Operands: []isa.Operand{isa.M(w), isa.R(w)}, Extension: "BASE", Attr: attr},
+					MacroOps: 1, Uops: cat(u1(ALU), u1(LOAD)),
+				})
+			}
+		}
+	}
+
+	// One-operand ALU ops.
+	for _, mn := range []string{"inc", "dec", "neg", "not"} {
+		for _, w := range gprWidths {
+			attr := commonAttr(mn)
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w)}, Extension: "BASE", Attr: attr},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.M(w)}, Extension: "BASE", Attr: attr},
+				MacroOps: 1, Uops: cat(u1(ALU), rmwExtraUops(w)),
+			})
+		}
+	}
+
+	// Shifts and rotates by immediate; all four ALUs on Zen+.
+	for _, mn := range []string{"shl", "shr", "sar", "rol", "ror"} {
+		for _, w := range gprWidths {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.I(8)}, Extension: "BASE", Attr: commonAttr(mn)},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+		}
+	}
+
+	// Double-precision shifts with immediate.
+	for _, mn := range []string{"shld", "shrd"} {
+		for _, w := range []int{16, 32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.R(w), isa.I(8)}, Extension: "BASE"},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+		}
+	}
+
+	// setcc: one ALU µop into a byte register.
+	for _, cc := range condCodes {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "set" + cc, Operands: []isa.Operand{isa.R(8)}, Extension: "BASE", Attr: isa.AttrCommon},
+			MacroOps: 1, Uops: u1(ALU),
+		})
+	}
+
+	// Bit test family; reg forms are single ALU µops.
+	for _, mn := range []string{"bt", "bts", "btr", "btc"} {
+		for _, w := range []int{16, 32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.R(w)}, Extension: "BASE"},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.I(8)}, Extension: "BASE"},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+		}
+	}
+
+	// Sign/zero extension between register widths.
+	type ext struct{ dst, src int }
+	for _, mn := range []string{"movzx", "movsx"} {
+		for _, e := range []ext{{16, 8}, {32, 8}, {64, 8}, {32, 16}, {64, 16}} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(e.dst), isa.R(e.src)}, Extension: "BASE", Attr: commonAttr(mn)},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(e.dst), isa.M(e.src)}, Extension: "BASE", Attr: commonAttr(mn)},
+				MacroOps: 1, Uops: cat(u1(ALU), u1(LOAD)),
+			})
+		}
+	}
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "movsxd", Operands: []isa.Operand{isa.R(64), isa.R(32)}, Extension: "BASE", Attr: isa.AttrCommon},
+		MacroOps: 1, Uops: u1(ALU),
+	})
+
+	// lea: address arithmetic on the ALUs; its memory operand is an
+	// address computation, not an access (no load µop — the paper's
+	// µop postulate explicitly excludes lea).
+	for _, w := range []int{16, 32, 64} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "lea", Operands: []isa.Operand{isa.R(w), isa.M(w)}, Extension: "BASE", Attr: isa.AttrCommon},
+			MacroOps: 1, Uops: u1(ALU),
+		})
+	}
+
+	// Bit-count instructions (single-port would also be plausible;
+	// Zen+ runs them on the ALU group).
+	for _, mn := range []string{"popcnt", "lzcnt", "tzcnt"} {
+		for _, w := range []int{16, 32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.R(w)}, Extension: "BMI"},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+		}
+	}
+	// BMI logic ops.
+	for _, mn := range []string{"andn", "bextr", "blsi", "blsmsk", "blsr"} {
+		for _, w := range []int{32, 64} {
+			ops := []isa.Operand{isa.R(w), isa.R(w), isa.R(w)}
+			if mn == "blsi" || mn == "blsmsk" || mn == "blsr" {
+				ops = []isa.Operand{isa.R(w), isa.R(w)}
+			}
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: ops, Extension: "BMI"},
+				MacroOps: 1, Uops: u1(ALU),
+			})
+		}
+	}
+	// Flag ops and exchanges.
+	for _, mn := range []string{"cmc", "clc", "stc"} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Extension: "BASE"},
+			MacroOps: 1, Uops: u1(ALU),
+		})
+	}
+	for _, w := range []int{16, 32, 64} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "bswap", Operands: []isa.Operand{isa.R(w)}, Extension: "BASE"},
+			MacroOps: 1, Uops: u1(ALU),
+		})
+	}
+	return out
+}
+
+// genScalarMulBit generates scalar multiplies (the anomalous "[7] —
+// integer mul." class of Table 1) and the microcoded bit scans.
+func genScalarMulBit() []*Spec {
+	var out []*Spec
+	add := func(sp *Spec) { out = append(out, sp) }
+
+	// imul two- and three-operand forms: single µop on one port, with
+	// the §4.3 mixture anomaly.
+	for _, w := range []int{16, 32, 64} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "imul", Operands: []isa.Operand{isa.R(w), isa.R(w)}, Extension: "BASE", Attr: isa.AttrImulAnomaly | isa.AttrCommon},
+			MacroOps: 1, Uops: u1(IMULP),
+		})
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "imul", Operands: []isa.Operand{isa.R(w), isa.R(w), isa.I(32)}, Extension: "BASE", Attr: isa.AttrImulAnomaly},
+			MacroOps: 1, Uops: u1(IMULP),
+		})
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "imul", Operands: []isa.Operand{isa.R(w), isa.M(w)}, Extension: "BASE", Attr: isa.AttrImulAnomaly},
+			MacroOps: 1, Uops: cat(u1(IMULP), u1(LOAD)),
+		})
+	}
+	// mulx (BMI2): flagless multiply, same unit.
+	for _, w := range []int{32, 64} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "mulx", Operands: []isa.Operand{isa.R(w), isa.R(w), isa.R(w)}, Extension: "BMI2", Attr: isa.AttrImulAnomaly},
+			MacroOps: 1, Uops: u1(IMULP),
+		})
+	}
+
+	// Bit scans: microcoded on Zen+ (§4.4); the MS bottleneck makes
+	// their measurements show spurious µops.
+	for _, mn := range []string{"bsf", "bsr"} {
+		for _, w := range []int{16, 32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.R(w)}, Extension: "BASE", Attr: isa.AttrMicrocoded},
+				MacroOps: 8, Uops: uN(ALU, 8), MSOps: 8,
+			})
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.M(w)}, Extension: "BASE", Attr: isa.AttrMicrocoded},
+				MacroOps: 8, Uops: cat(uN(ALU, 8), u1(LOAD)), MSOps: 8,
+			})
+		}
+	}
+	// pdep/pext: heavily microcoded on Zen+.
+	for _, mn := range []string{"pdep", "pext"} {
+		for _, w := range []int{32, 64} {
+			add(&Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.R(w), isa.R(w), isa.R(w)}, Extension: "BMI2", Attr: isa.AttrMicrocoded},
+				MacroOps: 18, Uops: uN(ALU, 18), MSOps: 18,
+			})
+		}
+	}
+	return out
+}
+
+// genMovsAndLoads generates register movs (eliminated or ALU), nops,
+// loads (the "[4,5] — memory loads" class), and pushes/pops.
+func genMovsAndLoads() []*Spec {
+	var out []*Spec
+	add := func(sp *Spec) { out = append(out, sp) }
+
+	// 32/64-bit reg-reg movs are resolved by register renaming and
+	// use no ports (§4.1.2); 8/16-bit movs are ALU merges.
+	for _, w := range []int{32, 64} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "mov", Operands: []isa.Operand{isa.R(w), isa.R(w)}, Extension: "BASE", Attr: isa.AttrNoPorts | isa.AttrCommon},
+			MacroOps: 1, Uops: nil,
+		})
+	}
+	for _, w := range []int{8, 16} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "mov", Operands: []isa.Operand{isa.R(w), isa.R(w)}, Extension: "BASE"},
+			MacroOps: 1, Uops: u1(ALU),
+		})
+	}
+	// mov reg, imm (up to 32-bit immediates are ordinary ALU ops).
+	for _, w := range []int{8, 16, 32} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "mov", Operands: []isa.Operand{isa.R(w), isa.I(w)}, Extension: "BASE", Attr: isa.AttrCommon},
+			MacroOps: 1, Uops: u1(ALU),
+		})
+	}
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "mov", Operands: []isa.Operand{isa.R(64), isa.I(32)}, Extension: "BASE", Attr: isa.AttrCommon},
+		MacroOps: 1, Uops: u1(ALU),
+	})
+	// mov reg64, imm64: special-cased in hardware, unreliable to
+	// measure (§4.1.2).
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "mov", Operands: []isa.Operand{isa.R(64), isa.I(64)}, Extension: "BASE", Attr: isa.AttrMov64Imm},
+		MacroOps: 1, Uops: u1(ALU),
+	})
+
+	// nop uses no µops at all.
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "nop", Extension: "BASE", Attr: isa.AttrNoPorts},
+		MacroOps: 1, Uops: nil,
+	})
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "nop", Operands: []isa.Operand{isa.R(32)}, Extension: "BASE", Attr: isa.AttrNoPorts},
+		MacroOps: 1, Uops: nil,
+	})
+
+	// Loading movs: pure load µops, no ALU (§4.1.1: loading movs are
+	// excluded from the µop postulate's +1).
+	for _, w := range []int{8, 16, 32, 64} {
+		attr := isa.AttrCommon
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "mov", Operands: []isa.Operand{isa.R(w), isa.M(w)}, Extension: "BASE", Attr: attr},
+			MacroOps: 1, Uops: u1(LOAD),
+		})
+	}
+
+	// pop: load + stack-pointer update handled by the stack engine.
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "pop", Operands: []isa.Operand{isa.R(64)}, Extension: "BASE", Attr: isa.AttrCommon},
+		MacroOps: 1, Uops: u1(LOAD),
+	})
+	return out
+}
+
+// genStores generates the store forms, including the two improper
+// blocking instructions of §4.3 (no single-µop instruction exists for
+// the store port).
+func genStores() []*Spec {
+	var out []*Spec
+	add := func(sp *Spec) { out = append(out, sp) }
+
+	// Storing movs: a store µop on port 5 plus an ALU µop (§4.1.1,
+	// Table 2: [5] + [6,7,8,9]).
+	for _, w := range []int{8, 16, 32, 64} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "mov", Operands: []isa.Operand{isa.M(w), isa.R(w)}, Extension: "BASE", Attr: isa.AttrCommon},
+			MacroOps: 1, Uops: cat(u1(STORE), u1(ALU)),
+		})
+		iw := w
+		if iw == 64 {
+			iw = 32
+		}
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: "mov", Operands: []isa.Operand{isa.M(w), isa.I(iw)}, Extension: "BASE", Attr: isa.AttrCommon},
+			MacroOps: 1, Uops: cat(u1(STORE), u1(ALU)),
+		})
+	}
+	// push: store + AGU.
+	add(&Spec{
+		Scheme:   isa.Scheme{Mnemonic: "push", Operands: []isa.Operand{isa.R(64)}, Extension: "BASE", Attr: isa.AttrCommon},
+		MacroOps: 1, Uops: cat(u1(STORE), u1(ALU)),
+	})
+
+	// Vector stores: a store µop plus one data-delivery µop on the
+	// vector side (Table 2: vmovapd MEM, XMM = [5] + [2]).
+	for _, mn := range []string{"vmovaps", "vmovapd", "vmovups", "vmovupd", "vmovdqa", "vmovdqu"} {
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.M(128), isa.X()}, Extension: "AVX", Attr: isa.AttrCommon},
+			MacroOps: 1, Uops: cat(u1(STORE), u1(VSHIFT)),
+		})
+		add(&Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.M(256), isa.Y()}, Extension: "AVX"},
+			MacroOps: 2, Uops: cat(uN(STORE, 2), uN(VSHIFT, 2)),
+		})
+	}
+	return out
+}

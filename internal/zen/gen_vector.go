@@ -1,0 +1,314 @@
+package zen
+
+import (
+	"zenport/internal/isa"
+	"zenport/internal/portmodel"
+)
+
+// vecFamily describes a family of AVX/AVX2 vector instructions that
+// share a µop class.
+type vecFamily struct {
+	mnemonics []string
+	class     portmodel.PortSet
+	// nregs is the number of register operands of the xmm register
+	// form (including the destination).
+	nregs int
+	// imm adds a trailing 8-bit immediate operand.
+	imm bool
+	// noYMM suppresses the 256-bit variants.
+	noYMM bool
+	// noMem suppresses the memory-source variants.
+	noMem bool
+	// ext overrides the extension label (default "AVX").
+	ext string
+	// attr adds attributes to every scheme of the family.
+	attr isa.Attr
+	// common marks the xmm register form as compiler-common.
+	common bool
+}
+
+// vecFamilies is the Zen+ vector instruction table. Classes follow
+// Tables 1 and 2 of the paper.
+var vecFamilies = []vecFamily{
+	// [0,1,2,3]: logical vector ops and vector register movs.
+	{
+		mnemonics: []string{"vpor", "vpand", "vpxor", "vpandn"},
+		class:     VALU, nregs: 3, ext: "AVX2", common: true,
+	},
+	{
+		mnemonics: []string{"vmovdqa", "vmovdqu", "vmovaps", "vmovups", "vmovapd", "vmovupd"},
+		class:     VALU, nregs: 2, common: true,
+	},
+	{
+		mnemonics: []string{"vandps", "vandpd", "vorps", "vorpd", "vxorps", "vxorpd", "vandnps", "vandnpd"},
+		class:     VALU, nregs: 3, common: true,
+	},
+
+	// [0,1,3]: vector integer arithmetic.
+	{
+		mnemonics: []string{
+			"vpaddb", "vpaddw", "vpaddd", "vpaddq",
+			"vpsubb", "vpsubw", "vpsubd", "vpsubq",
+			"vpminsb", "vpminsw", "vpminsd", "vpminub", "vpminuw", "vpminud",
+			"vpmaxsb", "vpmaxsw", "vpmaxsd", "vpmaxub", "vpmaxuw", "vpmaxud",
+			"vpcmpeqb", "vpcmpeqw", "vpcmpeqd",
+			"vpavgb", "vpavgw",
+			"vpcmpgtb", "vpcmpgtw", "vpcmpgtd",
+		},
+		class: VADD, nregs: 3, ext: "AVX2", common: true,
+	},
+	{
+		mnemonics: []string{"vpabsb", "vpabsw", "vpabsd", "vpsignb", "vpsignw", "vpsignd"},
+		class:     VADD, nregs: 2, ext: "AVX2",
+	},
+
+	// [0,3]: saturating vector arithmetic and the 2×64-bit equality
+	// compare the paper calls out in §4.2.
+	{
+		mnemonics: []string{
+			"vpaddsb", "vpaddsw", "vpaddusb", "vpaddusw",
+			"vpsubsb", "vpsubsw", "vpsubusb", "vpsubusw",
+		},
+		class: VADDS, nregs: 3, ext: "AVX2",
+	},
+	{
+		mnemonics: []string{"vpcmpeqq"},
+		class:     VADDS, nregs: 3, ext: "AVX2",
+	},
+
+	// [0,1]: FP compares and multiplies. (Double-precision multiply
+	// is measurement-unstable, §4.2 — flagged in gen_problem.go.)
+	{
+		mnemonics: []string{
+			"vmulps", "vmulss",
+			"vminps", "vminpd", "vminss", "vminsd",
+			"vmaxps", "vmaxpd", "vmaxss", "vmaxsd",
+		},
+		class: FPMUL, nregs: 3, common: true,
+	},
+	{
+		mnemonics: []string{"vcmpps", "vcmppd", "vcmpss", "vcmpsd"},
+		class:     FPMUL, nregs: 3, imm: true, common: true,
+	},
+	// The vcmp predicate pseudo-ops: uops.info enumerates each of the
+	// 32 AVX comparison predicates as its own scheme, which is why
+	// the paper's FP compare/multiply class holds 143 equivalents.
+	{
+		mnemonics: vcmpPseudoOps(),
+		class:     FPMUL, nregs: 3,
+	},
+	{
+		mnemonics: []string{"vucomiss", "vucomisd", "vcomiss", "vcomisd"},
+		class:     FPMUL, nregs: 2, noYMM: true,
+	},
+
+	// [2,3]: FP additions.
+	{
+		mnemonics: []string{
+			"vaddps", "vaddpd", "vaddss", "vaddsd",
+			"vsubps", "vsubpd", "vsubss", "vsubsd",
+			"vaddsubps", "vaddsubpd",
+		},
+		class: FPADD, nregs: 3, common: true,
+	},
+
+	// [1,2]: vector layouting (shuffles, broadcasts, unpacks, packs).
+	{
+		mnemonics: []string{"vbroadcastss"},
+		class:     SHUF, nregs: 2, common: true,
+	},
+	{
+		mnemonics: []string{
+			"vpunpckhbw", "vpunpckhwd", "vpunpckhdq", "vpunpckhqdq",
+			"vpunpcklbw", "vpunpcklwd", "vpunpckldq", "vpunpcklqdq",
+			"vunpckhps", "vunpckhpd", "vunpcklps", "vunpcklpd",
+			"vpacksswb", "vpackssdw", "vpackuswb", "vpackusdw",
+			"vpshufb",
+		},
+		class: SHUF, nregs: 3, ext: "AVX2",
+	},
+	{
+		mnemonics: []string{"vpshufd", "vpshufhw", "vpshuflw", "vpermilps", "vpermilpd"},
+		class:     SHUF, nregs: 2, imm: true, ext: "AVX2",
+	},
+	{
+		mnemonics: []string{"vshufps", "vshufpd", "vpalignr", "vinsertps", "vpblendw", "vmpsadbw"},
+		class:     SHUF, nregs: 3, imm: true,
+	},
+	{
+		mnemonics: []string{
+			"vpmovzxbw", "vpmovzxbd", "vpmovzxbq", "vpmovzxwd", "vpmovzxwq", "vpmovzxdq",
+			"vpmovsxbw", "vpmovsxbd", "vpmovsxbq", "vpmovsxwd", "vpmovsxwq", "vpmovsxdq",
+		},
+		class: SHUF, nregs: 2, ext: "AVX2", noYMM: true,
+	},
+
+	// [2]: vector shifts.
+	{
+		mnemonics: []string{"vpsllw", "vpslld", "vpsllq", "vpsrlw", "vpsrld", "vpsrlq", "vpsraw", "vpsrad"},
+		class:     VSHIFT, nregs: 3, ext: "AVX2",
+	},
+	{
+		mnemonics: []string{"vpslldq", "vpsrldq"},
+		class:     VSHIFT, nregs: 2, imm: true, ext: "AVX2", noMem: true,
+	},
+	{
+		mnemonics: []string{"vpsllvd", "vpsllvq", "vpsrlvd", "vpsrlvq", "vpsravd"},
+		class:     VSHIFT, nregs: 3, ext: "AVX2",
+	},
+
+	// [0]: elaborate vector multiplies; experiments run slower than
+	// their port usage implies (§4.3), so the CEGAR stage excludes
+	// the representative's mnemonic family.
+	{
+		mnemonics: []string{"vpmuldq", "vpmuludq"},
+		class:     VIMUL, nregs: 3, ext: "AVX2", attr: isa.AttrVecMulSlow,
+	},
+	{
+		mnemonics: []string{"vpmullw", "vpmulhw", "vpmulhuw", "vpmulhrsw", "vpmaddwd", "vpmaddubsw"},
+		class:     VIMUL, nregs: 3, ext: "AVX2",
+	},
+	{
+		mnemonics: []string{"vpcmpgtq"},
+		class:     VIMUL, nregs: 3, ext: "AVX2",
+	},
+
+	// [3]: vector rounding.
+	{
+		mnemonics: []string{"vroundps", "vroundpd"},
+		class:     FPROUND, nregs: 2, imm: true, noYMM: true,
+	},
+	{
+		mnemonics: []string{"vroundss", "vroundsd"},
+		class:     FPROUND, nregs: 3, imm: true, noYMM: true,
+	},
+}
+
+// genVector expands the vector family table into schemes with ground
+// truth: xmm and ymm register forms plus memory-source forms. 256-bit
+// operations are double-pumped: two macro-ops with twice the µops
+// (§4.4); memory operands add one load µop (two for 256-bit).
+func genVector() []*Spec {
+	var out []*Spec
+	for _, f := range vecFamilies {
+		ext := f.ext
+		if ext == "" {
+			ext = "AVX"
+		}
+		for _, mn := range f.mnemonics {
+			regOps := make([]isa.Operand, f.nregs)
+			for i := range regOps {
+				regOps[i] = isa.X()
+			}
+			if f.imm {
+				regOps = append(regOps, isa.I(8))
+			}
+			attr := f.attr
+			if f.common {
+				attr |= isa.AttrCommon
+			}
+			// xmm register form: one macro-op, one µop.
+			out = append(out, &Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: regOps, Extension: ext, Attr: attr},
+				MacroOps: 1, Uops: u1(f.class),
+			})
+			// xmm memory form: source operand is 128-bit memory.
+			if !f.noMem {
+				memOps := append([]isa.Operand(nil), regOps...)
+				memOps[f.nregs-1] = isa.M(128)
+				uops := cat(u1(f.class), u1(LOAD))
+				if isLoadingMov(mn) {
+					uops = u1(LOAD) // loading movs are pure loads
+				}
+				out = append(out, &Spec{
+					Scheme:   isa.Scheme{Mnemonic: mn, Operands: memOps, Extension: ext, Attr: f.attr},
+					MacroOps: 1, Uops: uops,
+				})
+			}
+			if f.noYMM {
+				continue
+			}
+			// ymm register form: double-pumped.
+			yOps := make([]isa.Operand, f.nregs)
+			for i := range yOps {
+				yOps[i] = isa.Y()
+			}
+			if f.imm {
+				yOps = append(yOps, isa.I(8))
+			}
+			out = append(out, &Spec{
+				Scheme:   isa.Scheme{Mnemonic: mn, Operands: yOps, Extension: ext, Attr: f.attr},
+				MacroOps: 2, Uops: uN(f.class, 2),
+			})
+			// ymm memory form.
+			if !f.noMem {
+				memOps := append([]isa.Operand(nil), yOps...)
+				memOps[f.nregs-1] = isa.M(256)
+				uops := cat(uN(f.class, 2), uN(LOAD, 2))
+				if isLoadingMov(mn) {
+					uops = uN(LOAD, 2)
+				}
+				out = append(out, &Spec{
+					Scheme:   isa.Scheme{Mnemonic: mn, Operands: memOps, Extension: ext, Attr: f.attr},
+					MacroOps: 2, Uops: uops,
+				})
+			}
+		}
+	}
+
+	// vbroadcastsd exists only with a ymm destination.
+	out = append(out, &Spec{
+		Scheme:   isa.Scheme{Mnemonic: "vbroadcastsd", Operands: []isa.Operand{isa.Y(), isa.X()}, Extension: "AVX"},
+		MacroOps: 2, Uops: uN(SHUF, 2),
+	})
+
+	// Vector-to-GPR transfers: the "[1] — vector-to-GPR mov" class
+	// with inconsistent resource conflicts (§4.3).
+	out = append(out, &Spec{
+		Scheme:   isa.Scheme{Mnemonic: "vmovd", Operands: []isa.Operand{isa.X(), isa.R(32)}, Extension: "AVX", Attr: isa.AttrXferInconsistent},
+		MacroOps: 1, Uops: u1(XFER),
+	})
+	out = append(out, &Spec{
+		Scheme:   isa.Scheme{Mnemonic: "vmovq", Operands: []isa.Operand{isa.X(), isa.R(64)}, Extension: "AVX", Attr: isa.AttrXferInconsistent},
+		MacroOps: 1, Uops: u1(XFER),
+	})
+
+	// Horizontal vector adds: microcoded, with spurious-µop
+	// measurements (§4.4, vphaddw example).
+	for _, mn := range []string{"vphaddw", "vphaddd", "vphaddsw", "vphsubw", "vphsubd", "vphsubsw"} {
+		out = append(out, &Spec{
+			Scheme:   isa.Scheme{Mnemonic: mn, Operands: []isa.Operand{isa.X(), isa.X(), isa.X()}, Extension: "AVX2", Attr: isa.AttrMicrocoded},
+			MacroOps: 4, MSOps: 4,
+			Uops: cat(u1(VALU), u1(VADD), uN(SHUF, 2)),
+		})
+	}
+	return out
+}
+
+// vcmpPseudoOps builds the AVX comparison predicate pseudo-op
+// mnemonics (vcmpeqps, vcmpltps, ... for ps and pd), matching how
+// uops.info enumerates instruction schemes.
+func vcmpPseudoOps() []string {
+	preds := []string{
+		"eq", "lt", "le", "unord", "neq", "nlt", "nle", "ord",
+		"eq_uq", "nge", "ngt", "false", "neq_oq", "ge", "gt", "true",
+		"eq_os", "lt_oq", "le_oq", "unord_s", "neq_us", "nlt_uq",
+		"nle_uq", "ord_s", "eq_us", "nge_uq", "ngt_uq", "false_os",
+		"neq_os", "ge_oq", "gt_oq", "true_us",
+	}
+	var out []string
+	for _, p := range preds {
+		out = append(out, "vcmp"+p+"ps", "vcmp"+p+"pd")
+	}
+	return out
+}
+
+// isLoadingMov reports whether the mnemonic is a plain load when its
+// source is memory (movs load directly through the load ports).
+func isLoadingMov(mn string) bool {
+	switch mn {
+	case "vmovdqa", "vmovdqu", "vmovaps", "vmovups", "vmovapd", "vmovupd":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+// Package zen instantiates the x86-64 instruction scheme database for
+// AMD's Zen+ microarchitecture together with ground-truth behaviour:
+// macro-op counts, µop decompositions with admissible ports, and the
+// performance anomalies documented in Section 4 of Ritter & Hack
+// (ASPLOS 2024).
+//
+// The ground truth plays the role of the physical Ryzen 5 2600X in
+// the paper's case study: the simulator in package zensim executes
+// kernels against it, and the inference pipeline in package core must
+// rediscover it from measurements alone. Port numbering follows the
+// paper's Table 2:
+//
+//	0..3  FP/vector pipes (FP0..FP3)
+//	4     load AGU (port 4)
+//	5     load/store AGU, the store port (port 5)
+//	6..9  integer ALUs (ALU0..ALU3)
+package zen
+
+import (
+	"fmt"
+	"sort"
+
+	"zenport/internal/isa"
+	"zenport/internal/portmodel"
+)
+
+// NumPorts is the number of execution ports of the Zen+ model.
+const NumPorts = 10
+
+// Rmax is the frontend/retire bottleneck: at most 5 instructions
+// (macro-ops) per cycle (§3.5, §4).
+const Rmax = 5.0
+
+// MSRate is the number of operations the microcode sequencer emits
+// per cycle while stalling the rest of the frontend (§4.4).
+const MSRate = 4.0
+
+// Execution port groups of the Zen+ ground truth.
+var (
+	ALU     = portmodel.MakePortSet(6, 7, 8, 9) // scalar integer ALUs
+	VALU    = portmodel.MakePortSet(0, 1, 2, 3) // all four FP/vector pipes
+	VADD    = portmodel.MakePortSet(0, 1, 3)    // vector integer arithmetic
+	FPMUL   = portmodel.MakePortSet(0, 1)       // FP multiply / compare
+	SHUF    = portmodel.MakePortSet(1, 2)       // vector layouting/shuffles
+	VADDS   = portmodel.MakePortSet(0, 3)       // saturating vector ops
+	FPADD   = portmodel.MakePortSet(2, 3)       // FP additions
+	LOAD    = portmodel.MakePortSet(4, 5)       // memory loads
+	VSHIFT  = portmodel.MakePortSet(2)          // vector shifts
+	VIMUL   = portmodel.MakePortSet(0)          // elaborate vector multiplies
+	IMULP   = portmodel.MakePortSet(7)          // scalar integer multiply
+	FPROUND = portmodel.MakePortSet(3)          // vector rounding
+	XFER    = portmodel.MakePortSet(1)          // vector<->GPR transfers
+	STORE   = portmodel.MakePortSet(5)          // memory stores
+	AGU     = portmodel.MakePortSet(4, 5)       // address generation
+)
+
+// Spec is one instruction scheme with its Zen+ ground truth.
+type Spec struct {
+	Scheme isa.Scheme
+	// MacroOps is what the PMCx0C1 "Retired Uops" counter reports
+	// per instruction: macro-ops, not µops (§4.1.1).
+	MacroOps int
+	// Uops is the ground-truth µop decomposition with admissible
+	// ports. Empty for no-port instructions (nop, eliminated movs).
+	Uops portmodel.Usage
+	// Occupancy is the number of cycles each µop occupies its port;
+	// 1 for pipelined instructions, >1 for non-pipelined FP ops
+	// (division, square root, reciprocals).
+	Occupancy float64
+	// MSOps is the number of macro-ops emitted through the microcode
+	// sequencer. Zero means the instruction is decoded directly.
+	MSOps int
+}
+
+// Key returns the canonical scheme key.
+func (s *Spec) Key() string { return s.Scheme.Key() }
+
+// DB is the Zen+ instruction database.
+type DB struct {
+	specs []*Spec
+	byKey map[string]*Spec
+	truth *portmodel.Mapping
+}
+
+// Build constructs the full database. The result is deterministic.
+func Build() *DB {
+	var specs []*Spec
+	specs = append(specs, genScalarALU()...)
+	specs = append(specs, genScalarMulBit()...)
+	specs = append(specs, genMovsAndLoads()...)
+	specs = append(specs, genStores()...)
+	specs = append(specs, genVector()...)
+	specs = append(specs, genProblem()...)
+	specs = append(specs, genExcludedUpfront()...)
+
+	db := &DB{specs: specs, byKey: make(map[string]*Spec, len(specs))}
+	for _, sp := range specs {
+		key := sp.Key()
+		if _, dup := db.byKey[key]; dup {
+			panic(fmt.Sprintf("zen: duplicate scheme %q", key))
+		}
+		if sp.Occupancy == 0 {
+			sp.Occupancy = 1
+		}
+		db.byKey[key] = sp
+	}
+	db.truth = portmodel.NewMapping(NumPorts)
+	for _, sp := range specs {
+		db.truth.Set(sp.Key(), sp.Uops)
+	}
+	return db
+}
+
+// Get returns the spec for a scheme key.
+func (db *DB) Get(key string) (*Spec, bool) {
+	sp, ok := db.byKey[key]
+	return sp, ok
+}
+
+// MustGet returns the spec for a key or panics.
+func (db *DB) MustGet(key string) *Spec {
+	sp, ok := db.byKey[key]
+	if !ok {
+		panic(fmt.Sprintf("zen: unknown scheme %q", key))
+	}
+	return sp
+}
+
+// Specs returns all specs in deterministic order.
+func (db *DB) Specs() []*Spec { return db.specs }
+
+// Keys returns all scheme keys, sorted.
+func (db *DB) Keys() []string {
+	keys := make([]string, 0, len(db.specs))
+	for _, sp := range db.specs {
+		keys = append(keys, sp.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Truth returns the ground-truth port mapping over all schemes.
+func (db *DB) Truth() *portmodel.Mapping { return db.truth }
+
+// Len returns the number of schemes.
+func (db *DB) Len() int { return len(db.specs) }
+
+// u1 builds a single-µop usage.
+func u1(ps portmodel.PortSet) portmodel.Usage {
+	return portmodel.Usage{{Ports: ps, Count: 1}}
+}
+
+// uN builds an n-µop usage of one kind.
+func uN(ps portmodel.PortSet, n int) portmodel.Usage {
+	return portmodel.Usage{{Ports: ps, Count: n}}
+}
+
+// cat concatenates usages.
+func cat(us ...portmodel.Usage) portmodel.Usage {
+	var out portmodel.Usage
+	for _, u := range us {
+		out = append(out, u...)
+	}
+	return out.Normalize()
+}

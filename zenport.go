@@ -1,0 +1,121 @@
+// Package zenport is a Go implementation of "Explainable Port Mapping
+// Inference with Sparse Performance Counters for AMD's Zen
+// Architectures" (Ritter & Hack, ASPLOS 2024).
+//
+// It provides:
+//
+//   - the formal port mapping model with exact steady-state
+//     throughput semantics (Mapping, Experiment, Usage);
+//   - a simulated AMD Zen+ machine with the paper's documented
+//     counter quirks and performance anomalies (NewZenMachine), which
+//     substitutes for the Ryzen 5 2600X test system of the case
+//     study;
+//   - a nanoBench-style measurement harness (NewHarness);
+//   - the paper's four-stage inference pipeline (Infer), producing a
+//     port mapping with witness experiments and no per-port µop
+//     counters;
+//   - the solver-level findMapping/findOtherMapping queries
+//     (NewInstance) for custom counter-example-guided loops;
+//   - the comparison baselines of Section 4.5 (subpackages of
+//     internal/baseline, surfaced through cmd/zeneval).
+//
+// See examples/quickstart for a guided tour and DESIGN.md for the
+// full system inventory.
+package zenport
+
+import (
+	"zenport/internal/core"
+	"zenport/internal/isa"
+	"zenport/internal/measure"
+	"zenport/internal/portmodel"
+	"zenport/internal/smt"
+	"zenport/internal/zen"
+	"zenport/internal/zensim"
+)
+
+// Re-exported model types.
+type (
+	// PortSet is a bitmask of execution ports.
+	PortSet = portmodel.PortSet
+	// Uop is a µop kind: admissible ports and multiplicity.
+	Uop = portmodel.Uop
+	// Usage is an instruction's µop decomposition.
+	Usage = portmodel.Usage
+	// Mapping is a port mapping over instruction scheme keys.
+	Mapping = portmodel.Mapping
+	// Experiment is a dependency-free instruction multiset.
+	Experiment = portmodel.Experiment
+
+	// Scheme is an x86-64 instruction scheme.
+	Scheme = isa.Scheme
+
+	// Harness is the measurement harness (median-of-11, ε-equality).
+	Harness = measure.Harness
+	// Processor abstracts a machine under measurement.
+	Processor = measure.Processor
+	// Counters are raw performance-counter readings.
+	Counters = measure.Counters
+
+	// SimConfig configures the simulated Zen+ machine.
+	SimConfig = zensim.Config
+	// Machine is the simulated Zen+ processor.
+	Machine = zensim.Machine
+
+	// Options tunes the inference pipeline.
+	Options = core.Options
+	// Report is the full pipeline output (funnel, Table 1 classes,
+	// Table 2 mapping, witnesses, final mapping).
+	Report = core.Report
+	// Witness is one explanatory microbenchmark.
+	Witness = core.Witness
+	// BlockClass is a blocking-instruction equivalence class.
+	BlockClass = core.BlockClass
+
+	// Instance is a findMapping/findOtherMapping problem.
+	Instance = smt.Instance
+	// UopSpec declares one µop of an Instance.
+	UopSpec = smt.UopSpec
+	// MeasuredExp pairs an experiment with its measured inverse
+	// throughput.
+	MeasuredExp = smt.MeasuredExp
+)
+
+// MakePortSet builds a PortSet from port indices.
+func MakePortSet(ports ...int) PortSet { return portmodel.MakePortSet(ports...) }
+
+// NewMapping creates an empty mapping over numPorts ports.
+func NewMapping(numPorts int) *Mapping { return portmodel.NewMapping(numPorts) }
+
+// Exp builds an experiment from instruction keys (repetitions allowed).
+func Exp(keys ...string) Experiment { return portmodel.Exp(keys...) }
+
+// ZenDB builds the Zen+ instruction scheme database with ground
+// truth (1,100+ schemes).
+func ZenDB() *zen.DB { return zen.Build() }
+
+// ZenSchemes returns the isa.Scheme list of the Zen+ database, the
+// input to Infer.
+func ZenSchemes(db *zen.DB) []Scheme {
+	specs := db.Specs()
+	out := make([]Scheme, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, sp.Scheme)
+	}
+	return out
+}
+
+// NewZenMachine builds a simulated Zen+ processor over the database.
+func NewZenMachine(db *zen.DB, cfg SimConfig) *Machine { return zensim.NewMachine(db, cfg) }
+
+// NewHarness builds a measurement harness with the paper's
+// parameters (11 repetitions, ε = 0.02 CPI).
+func NewHarness(p Processor) *Harness { return measure.NewHarness(p) }
+
+// DefaultOptions returns the paper's pipeline parameters.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Infer runs the full four-stage inference pipeline of the paper
+// over the given schemes, measuring through the harness.
+func Infer(h *Harness, schemes []Scheme, opts Options) (*Report, error) {
+	return core.NewPipeline(h, schemes, opts).Run()
+}
