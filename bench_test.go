@@ -6,6 +6,8 @@
 package zenport_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"zenport"
@@ -342,5 +344,42 @@ func BenchmarkSimExecute(b *testing.B) {
 		if _, err := m.Execute(kernel, 100); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineParallelSweep measures batch measurement throughput
+// of the engine at several worker-pool sizes against the sequential
+// baseline (workers=1). On multi-core hosts the simulated Execute
+// calls scale near-linearly until GOMAXPROCS; results stay
+// bit-identical at every setting (see TestPipelineWorkerCountInvariance).
+func BenchmarkEngineParallelSweep(b *testing.B) {
+	// The stage-4-shaped grid: every pipeline key floods every
+	// blocker, plus the flood-only kernels.
+	var exps []zenport.Experiment
+	for _, key := range pipelineKeys {
+		for _, blocker := range blockerKeys {
+			if key == blocker {
+				continue
+			}
+			exps = append(exps,
+				zenport.Experiment{blocker: 8},
+				zenport.Experiment{blocker: 8, key: 1})
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				// Fresh harness per iteration: a warm cache would
+				// answer everything without touching the pool.
+				h := benchHarness(2600)
+				h.Workers = workers
+				b.StartTimer()
+				if _, err := h.MeasureBatch(context.Background(), exps); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(exps)), "experiments")
+		})
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,8 @@ func main() {
 	list := flag.String("list", "", "list scheme keys containing this substring")
 	seed := flag.Int64("seed", 2600, "noise seed")
 	noise := flag.Float64("noise", 0.001, "relative measurement noise")
+	parallel := flag.Int("parallel", 0, "measurement worker pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the measurement after this duration (0 = none)")
 	intel := flag.Bool("intel", false, "enable Intel-like per-port µop counters")
 	ideal := flag.Bool("ideal", false, "disable the Zen+ anomalies")
 	flag.Parse()
@@ -55,7 +58,14 @@ func main() {
 		Noise: n, Seed: *seed, PerPortCounters: *intel, DisableAnomalies: *ideal,
 	})
 	h := zenport.NewHarness(machine)
-	r, err := h.Measure(e)
+	h.Workers = *parallel
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	r, err := h.Engine.Measure(ctx, e)
 	if err != nil {
 		log.Fatal(err)
 	}

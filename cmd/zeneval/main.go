@@ -7,10 +7,11 @@
 //
 // Usage:
 //
-//	zeneval [-blocks N] [-schemes N] [-seed N] [-fast]
+//	zeneval [-blocks N] [-schemes N] [-seed N] [-parallel N] [-timeout D] [-fast]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,8 @@ func main() {
 	blocks := flag.Int("blocks", 1000, "number of random basic blocks (paper: 5000)")
 	maxKeys := flag.Int("schemes", 0, "limit evaluated schemes (0 = all common covered schemes)")
 	seed := flag.Int64("seed", 2600, "random seed")
+	parallel := flag.Int("parallel", 0, "measurement worker pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (0 = none)")
 	fast := flag.Bool("fast", false, "smaller PMEvo budget")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
@@ -35,13 +38,21 @@ func main() {
 	db := zenport.ZenDB()
 	machine := zenport.NewZenMachine(db, zenport.SimConfig{Noise: 0.001, Seed: *seed})
 	h := zenport.NewHarness(machine)
+	h.Workers = *parallel
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	opts := zenport.DefaultOptions()
 	if !*quiet {
 		opts.Log = func(f string, a ...any) { log.Printf(f, a...) }
 	}
 	log.Printf("running inference pipeline...")
-	rep, err := zenport.Infer(h, zenport.ZenSchemes(db), opts)
+	rep, err := zenport.InferContext(ctx, h, zenport.ZenSchemes(db), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +102,7 @@ func main() {
 	}
 
 	log.Printf("sampling %d basic blocks...", *blocks)
-	bs, err := eval.SampleBlocks(h, keys, *blocks, 5, *seed)
+	bs, err := eval.SampleBlocksContext(ctx, h, keys, *blocks, 5, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,16 +8,22 @@
 //
 // Usage:
 //
-//	zeninfer [-seed N] [-noise F] [-max-schemes N] [-out mapping.json] [-witnesses]
+//	zeninfer [-seed N] [-noise F] [-parallel N] [-timeout D] [-max-schemes N] [-out mapping.json] [-witnesses]
+//
+// Measurements run through the batch engine; -parallel sets the
+// worker-pool size (results are byte-identical for every value) and
+// -timeout bounds the whole inference.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"zenport"
 )
@@ -26,6 +32,8 @@ func main() {
 	seed := flag.Int64("seed", 2600, "measurement noise seed")
 	noise := flag.Float64("noise", 0.001, "relative cycle-measurement noise (0 disables)")
 	maxSchemes := flag.Int("max-schemes", 0, "limit the number of schemes (0 = all)")
+	parallel := flag.Int("parallel", 0, "measurement worker pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort inference after this duration (0 = none)")
 	out := flag.String("out", "", "write the final mapping to this JSON file")
 	witnesses := flag.Bool("witnesses", false, "print the CEGAR witness experiments")
 	quiet := flag.Bool("q", false, "suppress progress logging")
@@ -38,6 +46,7 @@ func main() {
 	}
 	machine := zenport.NewZenMachine(db, zenport.SimConfig{Noise: n, Seed: *seed})
 	h := zenport.NewHarness(machine)
+	h.Workers = *parallel
 
 	schemes := zenport.ZenSchemes(db)
 	if *maxSchemes > 0 && *maxSchemes < len(schemes) {
@@ -49,7 +58,14 @@ func main() {
 		opts.Log = func(format string, args ...any) { log.Printf(format, args...) }
 	}
 
-	rep, err := zenport.Infer(h, schemes, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	rep, err := zenport.InferContext(ctx, h, schemes, opts)
 	if err != nil {
 		log.Fatalf("inference failed: %v", err)
 	}
@@ -61,7 +77,10 @@ func main() {
 	if *witnesses {
 		printWitnesses(rep)
 	}
+	m := h.Metrics()
 	fmt.Printf("\ntotal distinct measurements: %d\n", h.MeasurementCount())
+	fmt.Printf("engine: %d submitted, %d cache hits, %d coalesced, %d retries, batch wall %s\n",
+		m.Submitted, m.CacheHits, m.Coalesced, m.Retries, m.BatchWall.Round(time.Millisecond))
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep.Final, "", "  ")

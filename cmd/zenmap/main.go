@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"zenport"
 )
@@ -25,7 +26,16 @@ func main() {
 	grep := flag.String("grep", "", "only print schemes containing this substring")
 	predict := flag.String("predict", "", "kernel to predict ('N*key; M*key')")
 	compare := flag.Bool("compare", false, "compare against the simulator ground truth")
+	timeout := flag.Duration("timeout", 0, "abort if the run exceeds this duration (0 = none)")
 	flag.Parse()
+
+	if *timeout > 0 {
+		// zenmap performs no measurements; a watchdog bounds the LP
+		// predictions and ground-truth comparison.
+		time.AfterFunc(*timeout, func() {
+			log.Fatalf("zenmap: timeout of %s exceeded", *timeout)
+		})
+	}
 
 	if *in == "" {
 		log.Fatal("specify -in mapping.json")

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"sort"
 	"testing"
 
@@ -306,5 +309,77 @@ func TestPipelineOnBlockingSubset(t *testing.T) {
 	}
 	if diff := tp - tTrue; diff > 0.1 || diff < -0.1 {
 		t.Errorf("final mapping predicts %v for %v, truth %v", tp, e, tTrue)
+	}
+}
+
+// goldenSubset is a reduced scheme set for the parallel-determinism
+// golden test: six blocking classes, one improper blocker, multi-µop
+// schemes, and a no-port scheme — every stage runs, but the CEGAR
+// search stays small enough to repeat per worker count.
+func goldenSubset(db *zen.DB) []isa.Scheme {
+	keys := []string{
+		"add GPR[32], GPR[32]",
+		"vpor XMM, XMM, XMM",
+		"vpaddd XMM, XMM, XMM",
+		"vminps XMM, XMM, XMM",
+		"mov GPR[32], MEM[32]",
+		"vpslld XMM, XMM, XMM",
+		"sub GPR[32], GPR[32]",
+		"vpand XMM, XMM, XMM",
+		"mov MEM[32], GPR[32]",
+		"vmovapd MEM[128], XMM",
+		"add GPR[32], MEM[32]",
+		"add MEM[32], GPR[32]",
+		"vpor YMM, YMM, YMM",
+		"nop",
+		"mov GPR[64], GPR[64]",
+	}
+	var out []isa.Scheme
+	for _, k := range keys {
+		out = append(out, db.MustGet(k).Scheme)
+	}
+	return out
+}
+
+// TestPipelineWorkerCountInvariance is the tentpole's golden test:
+// the complete pipeline, run with 1, 4, and 16 measurement workers on
+// the same seed, must produce a byte-identical final mapping JSON —
+// the same artifact zeninfer -out writes.
+func TestPipelineWorkerCountInvariance(t *testing.T) {
+	db := zen.Build()
+	var golden []byte
+	for _, workers := range []int{1, 4, 16} {
+		p, _ := newZenPipeline(t, goldenSubset(db), 42)
+		p.H.Workers = workers
+		rep, err := p.RunContext(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := json.MarshalIndent(rep.Final, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = data
+			if rep.Supported() == 0 {
+				t.Fatal("golden run characterized nothing")
+			}
+			continue
+		}
+		if string(data) != string(golden) {
+			t.Fatalf("mapping JSON differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestPipelineCancellation: a cancelled context aborts the pipeline
+// promptly with an error wrapping context.Canceled.
+func TestPipelineCancellation(t *testing.T) {
+	db := zen.Build()
+	p, _ := newZenPipeline(t, goldenSubset(db), 42)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

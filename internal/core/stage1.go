@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
@@ -11,9 +12,12 @@ import (
 
 // stage1 benchmarks every scheme individually: op counts, the µop
 // postulate, throughput, and the blocking-candidate test (§3.2 steps
-// 1–2, §4.1).
-func (p *Pipeline) stage1(rep *Report) error {
+// 1–2, §4.1). The per-scheme sweep runs as two measurement batches:
+// all singleton experiments first, then the 8× confirmation kernels
+// for schemes whose singleton throughput sits at the frontend bound.
+func (p *Pipeline) stage1(ctx context.Context, rep *Report) error {
 	rmax := p.H.P.Rmax()
+	var keys []string
 	for i := range p.Schemes {
 		s := p.Schemes[i]
 		key := s.Key()
@@ -35,18 +39,46 @@ func (p *Pipeline) stage1(rep *Report) error {
 			rep.Excluded[key] = ExclIrregularTP
 			continue
 		}
+		rep.Info[key] = &SchemeInfo{Scheme: s}
+		keys = append(keys, key)
+	}
 
-		r, err := p.H.Measure(portmodel.Exp(key))
-		if err != nil {
-			return err
+	exps := make([]portmodel.Experiment, len(keys))
+	for i, key := range keys {
+		exps[i] = portmodel.Exp(key)
+	}
+	results, err := p.H.MeasureBatch(ctx, exps)
+	if err != nil {
+		return err
+	}
+
+	// The no-port confirmation kernels are decided by the singleton
+	// results alone, so they form a second batch.
+	var confirmKeys []string
+	for i, key := range keys {
+		if rmax > 0 && math.Abs(results[i].InvThroughput-1/rmax) <= p.Opts.Epsilon {
+			confirmKeys = append(confirmKeys, key)
 		}
-		info := &SchemeInfo{
-			Scheme:      s,
-			OpsMeasured: r.OpsPerIteration,
-			TInv:        r.InvThroughput,
-		}
-		info.UopsPostulated = postulateUops(s, r.OpsPerIteration)
-		rep.Info[key] = info
+	}
+	confirmExps := make([]portmodel.Experiment, len(confirmKeys))
+	for i, key := range confirmKeys {
+		confirmExps[i] = portmodel.Experiment{key: 8}
+	}
+	confirmRes, err := p.H.MeasureBatch(ctx, confirmExps)
+	if err != nil {
+		return err
+	}
+	confirm := make(map[string]float64, len(confirmKeys))
+	for i, key := range confirmKeys {
+		confirm[key] = confirmRes[i].InvThroughput
+	}
+
+	for i, key := range keys {
+		r := results[i]
+		info := rep.Info[key]
+		info.OpsMeasured = r.OpsPerIteration
+		info.TInv = r.InvThroughput
+		info.UopsPostulated = postulateUops(info.Scheme, r.OpsPerIteration)
 
 		// Instability alone (mov of 64-bit immediates, §4.1.2): the
 		// run-to-run spread exposes the bimodal behaviour.
@@ -58,12 +90,8 @@ func (p *Pipeline) stage1(rep *Report) error {
 		// No-port instructions: nops and eliminated movs retire at
 		// the frontend bound (§4.1.2). Confirm with a longer kernel
 		// so a 1/Rmax-cycle coincidence cannot fool us.
-		if rmax > 0 && math.Abs(r.InvThroughput-1/rmax) <= p.Opts.Epsilon {
-			r8, err := p.H.Measure(portmodel.Experiment{key: 8})
-			if err != nil {
-				return err
-			}
-			if math.Abs(r8.InvThroughput-8/rmax) <= 8*p.Opts.Epsilon {
+		if t8, ok := confirm[key]; ok {
+			if math.Abs(t8-8/rmax) <= 8*p.Opts.Epsilon {
 				info.NoPorts = true
 				continue
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,22 +19,33 @@ import (
 // unstable across repetitions, or that exceed the additive bound
 // (impossible in the port mapping model: throughput is subadditive),
 // expose the §4.2 problem instructions, which are excluded.
-func (p *Pipeline) stage2(rep *Report) error {
+func (p *Pipeline) stage2(ctx context.Context, rep *Report) error {
 	keys := p.candidateKeys(rep)
 	classesByCount := map[int][]*BlockClass{}
 
 	for _, key := range keys {
 		info := rep.Info[key]
 		group := classesByCount[info.PortCount]
+		// Batch the candidate's full row of pair experiments against
+		// the group's current representatives up front. The row may
+		// measure past the first match — a speculative overshoot — but
+		// the set of experiments depends only on the (deterministic)
+		// candidate order, never on worker scheduling, so parallel and
+		// sequential runs stay bit-identical.
+		pairs := make([]portmodel.Experiment, len(group))
+		for i, cls := range group {
+			pairs[i] = portmodel.Experiment{key: 1, cls.Rep: 1}
+		}
+		rowRes, err := p.H.MeasureBatch(ctx, pairs)
+		if err != nil {
+			return err
+		}
 		placed := false
 		bad := false
-		for _, cls := range group {
+		for ci, cls := range group {
 			repInfo := rep.Info[cls.Rep]
-			pair := portmodel.Experiment{key: 1, cls.Rep: 1}
-			r, err := p.H.Measure(pair)
-			if err != nil {
-				return err
-			}
+			pair := pairs[ci]
+			r := rowRes[ci]
 			if r.Spread > p.Opts.SpreadThreshold {
 				// Unstable when paired: cmov, AES, vcvt*, double FP
 				// mul (§4.2).

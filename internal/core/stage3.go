@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,7 +17,7 @@ import (
 // measurements make the model unsatisfiable (imul, vpmuldq, vmovd on
 // Zen+) are isolated and excluded, together with all schemes sharing
 // their mnemonic.
-func (p *Pipeline) stage3(rep *Report) error {
+func (p *Pipeline) stage3(ctx context.Context, rep *Report) error {
 	inst := &smt.Instance{
 		NumPorts: p.Opts.NumPorts,
 		Rmax:     p.H.P.Rmax(),
@@ -38,24 +39,28 @@ func (p *Pipeline) stage3(rep *Report) error {
 		)
 	}
 
-	// Seed experiments: every blocker executed alone.
+	// Seed experiments: every blocker executed alone, as one batch.
+	seedKeys := inst.SortedKeys()
+	seedExps := make([]portmodel.Experiment, len(seedKeys))
+	for i, key := range seedKeys {
+		seedExps[i] = portmodel.Exp(key)
+	}
+	seedT, err := p.H.InvThroughputs(ctx, seedExps)
+	if err != nil {
+		return err
+	}
 	var exps []smt.MeasuredExp
-	for _, key := range inst.SortedKeys() {
-		e := portmodel.Exp(key)
-		t, err := p.H.InvThroughput(e)
-		if err != nil {
-			return err
-		}
-		exps = append(exps, smt.MeasuredExp{Exp: e, TInv: t})
+	for i, e := range seedExps {
+		exps = append(exps, smt.MeasuredExp{Exp: e, TInv: seedT[i]})
 		rep.CEGARWitnesses = append(rep.CEGARWitnesses, Witness{
-			Exp: e, TInv: t, Claim: "seed: single-instruction throughput",
+			Exp: e, TInv: seedT[i], Claim: "seed: single-instruction throughput",
 		})
 	}
 
 	for round := 0; round < p.Opts.MaxCEGARRounds; round++ {
-		m1, err := inst.FindMapping(exps)
+		m1, err := inst.FindMappingContext(ctx, exps)
 		if errors.Is(err, smt.ErrNoMapping) {
-			culprit, cerr := p.isolateCulprit(inst, exps)
+			culprit, cerr := p.isolateCulprit(ctx, inst, exps)
 			if cerr != nil {
 				return cerr
 			}
@@ -72,7 +77,7 @@ func (p *Pipeline) stage3(rep *Report) error {
 		if err != nil {
 			return err
 		}
-		other, err := inst.FindOtherMapping(exps, m1, p.Opts.MaxExpDistinct, p.Opts.MaxExpTotal, p.Opts.MaxCandidates)
+		other, err := inst.FindOtherMappingContext(ctx, exps, m1, p.Opts.MaxExpDistinct, p.Opts.MaxExpTotal, p.Opts.MaxCandidates)
 		if err != nil {
 			return err
 		}
@@ -81,10 +86,14 @@ func (p *Pipeline) stage3(rep *Report) error {
 			rep.CEGARRounds = round
 			return nil
 		}
-		t, err := p.H.InvThroughput(other.Exp)
+		// CEGAR is inherently sequential — each round's experiment
+		// depends on the previous counter-example — so this is a
+		// single ctx-aware measurement, not a batch.
+		r, err := p.H.Engine.Measure(ctx, other.Exp)
 		if err != nil {
 			return err
 		}
+		t := r.InvThroughput
 		exps = append(exps, smt.MeasuredExp{Exp: other.Exp, TInv: t})
 		rep.CEGARWitnesses = append(rep.CEGARWitnesses, Witness{
 			Exp:    other.Exp,
@@ -95,7 +104,7 @@ func (p *Pipeline) stage3(rep *Report) error {
 		})
 	}
 	// Budget exhausted: accept the last consistent mapping.
-	m1, err := inst.FindMapping(exps)
+	m1, err := inst.FindMappingContext(ctx, exps)
 	if err != nil {
 		return err
 	}
@@ -139,13 +148,13 @@ func (p *Pipeline) excludeMnemonicFamily(rep *Report, culprit string) {
 // in the findMapping method". If several single removals work, probe
 // benchmarks decide; if none does (several anomalies poison disjoint
 // experiments), suspicion falls back to per-experiment sub-problems.
-func (p *Pipeline) isolateCulprit(inst *smt.Instance, exps []smt.MeasuredExp) (string, error) {
+func (p *Pipeline) isolateCulprit(ctx context.Context, inst *smt.Instance, exps []smt.MeasuredExp) (string, error) {
 	keys := inst.SortedKeys()
 	var fixes []string
 	for _, k := range keys {
 		excl := map[string]bool{k: true}
 		sub := inst.Without(excl)
-		if _, err := sub.FindMapping(smt.FilterExps(exps, excl)); err == nil {
+		if _, err := sub.FindMappingContext(ctx, smt.FilterExps(exps, excl)); err == nil {
 			fixes = append(fixes, k)
 		} else if !errors.Is(err, smt.ErrNoMapping) {
 			return "", err
@@ -155,7 +164,7 @@ func (p *Pipeline) isolateCulprit(inst *smt.Instance, exps []smt.MeasuredExp) (s
 		return fixes[0], nil
 	}
 	if len(fixes) > 1 {
-		return p.probeDiagnose(inst, exps, fixes)
+		return p.probeDiagnose(ctx, inst, exps, fixes)
 	}
 
 	// No single removal fixes the model: several instructions are
@@ -171,7 +180,7 @@ func (p *Pipeline) isolateCulprit(inst *smt.Instance, exps []smt.MeasuredExp) (s
 			sub[k] = true
 		}
 		si := subInstance(inst, sub)
-		if _, err := si.FindMapping(expsOver(exps, sub)); errors.Is(err, smt.ErrNoMapping) {
+		if _, err := si.FindMappingContext(ctx, expsOver(exps, sub)); errors.Is(err, smt.ErrNoMapping) {
 			for k := range sub {
 				suspicion[k]++
 			}
@@ -201,14 +210,14 @@ func (p *Pipeline) isolateCulprit(inst *smt.Instance, exps []smt.MeasuredExp) (s
 	if len(suspects) == 1 {
 		return suspects[0], nil
 	}
-	return p.probeDiagnose(inst, exps, suspects)
+	return p.probeDiagnose(ctx, inst, exps, suspects)
 }
 
 // probeDiagnose separates tied suspects with fresh benchmarks: each
 // suspect is flooded with four copies of every non-suspect blocker
 // and charged for every two-instruction model the measurement
 // contradicts.
-func (p *Pipeline) probeDiagnose(inst *smt.Instance, exps []smt.MeasuredExp, suspects []string) (string, error) {
+func (p *Pipeline) probeDiagnose(ctx context.Context, inst *smt.Instance, exps []smt.MeasuredExp, suspects []string) (string, error) {
 	sort.Strings(suspects)
 	suspectSet := map[string]bool{}
 	for _, s := range suspects {
@@ -222,31 +231,41 @@ func (p *Pipeline) probeDiagnose(inst *smt.Instance, exps []smt.MeasuredExp, sus
 			}
 		}
 	}
-	scores := map[string]int{}
+	// The whole suspect×partner probe grid is known up front (the
+	// sequential code had no early exit either), so it measures as one
+	// batch.
+	type probePair struct{ s, partner string }
+	var grid []probePair
+	var probes []portmodel.Experiment
 	for _, s := range suspects {
 		for _, partner := range inst.SortedKeys() {
 			if suspectSet[partner] || partner == s {
 				continue
 			}
-			probe := portmodel.Experiment{partner: 4, s: 1}
-			t, err := p.H.InvThroughput(probe)
-			if err != nil {
-				return "", err
+			grid = append(grid, probePair{s, partner})
+			probes = append(probes, portmodel.Experiment{partner: 4, s: 1})
+		}
+	}
+	probeT, err := p.H.InvThroughputs(ctx, probes)
+	if err != nil {
+		return "", err
+	}
+	scores := map[string]int{}
+	for i, pp := range grid {
+		s, partner := pp.s, pp.partner
+		keys := map[string]bool{partner: true, s: true}
+		sub := subInstance(inst, keys)
+		var subExps []smt.MeasuredExp
+		for _, k := range []string{partner, s} {
+			if ts, ok := singleton[k]; ok {
+				subExps = append(subExps, smt.MeasuredExp{Exp: portmodel.Exp(k), TInv: ts})
 			}
-			keys := map[string]bool{partner: true, s: true}
-			sub := subInstance(inst, keys)
-			var subExps []smt.MeasuredExp
-			for _, k := range []string{partner, s} {
-				if ts, ok := singleton[k]; ok {
-					subExps = append(subExps, smt.MeasuredExp{Exp: portmodel.Exp(k), TInv: ts})
-				}
-			}
-			subExps = append(subExps, smt.MeasuredExp{Exp: probe, TInv: t})
-			if _, err := sub.FindMapping(subExps); errors.Is(err, smt.ErrNoMapping) {
-				scores[s]++
-			} else if err != nil {
-				return "", err
-			}
+		}
+		subExps = append(subExps, smt.MeasuredExp{Exp: probes[i], TInv: probeT[i]})
+		if _, err := sub.FindMappingContext(ctx, subExps); errors.Is(err, smt.ErrNoMapping) {
+			scores[s]++
+		} else if err != nil {
+			return "", err
 		}
 	}
 	p.logf("stage 3: probe diagnosis: scores=%v", scores)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -25,7 +26,7 @@ type blockerDesc struct {
 // previously found µops on proper subsets are subtracted (Algorithm
 // 1). The stage runs CharacterizeRuns times with fresh measurements
 // and accepts a result only when a majority of runs agree (§4.4).
-func (p *Pipeline) stage4(rep *Report) error {
+func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 	blockers := p.stage4Blockers(rep)
 	if len(blockers) == 0 {
 		return fmt.Errorf("no usable blocking instructions")
@@ -64,8 +65,26 @@ func (p *Pipeline) stage4(rep *Report) error {
 			// Fresh measurements for independent runs.
 			p.H.ClearCache()
 		}
+		// Prefetch the run's entire scheme×blocker grid — every flood
+		// kernel and every flood+scheme kernel — as one batch. The
+		// grid is computable up front (block counts depend only on
+		// stage-1 data), duplicates coalesce in the engine, and
+		// characterizeOne below is then answered from cache.
+		var grid []portmodel.Experiment
 		for _, key := range todo {
-			found, witnesses, ok, err := p.characterizeOne(rep, key, blockers)
+			info := rep.Info[key]
+			for _, b := range blockers {
+				k := blockCount(b.pu.Size(), info.UopsPostulated, info.TInv)
+				grid = append(grid,
+					portmodel.Experiment{b.key: k},
+					portmodel.Experiment{b.key: k, key: 1})
+			}
+		}
+		if _, err := p.H.MeasureBatch(ctx, grid); err != nil {
+			return err
+		}
+		for _, key := range todo {
+			found, witnesses, ok, err := p.characterizeOne(ctx, rep, key, blockers)
 			if err != nil {
 				return err
 			}
@@ -180,7 +199,9 @@ func improperOwnPorts(rep *Report, usage portmodel.Usage) (portmodel.PortSet, bo
 }
 
 // characterizeOne runs Algorithm 1 (adapted per §3.1) for one scheme.
-func (p *Pipeline) characterizeOne(rep *Report, key string, blockers []blockerDesc) (map[portmodel.PortSet]int, []Witness, bool, error) {
+// Its measurements were prefetched by stage4's grid batch, so the
+// engine answers from cache.
+func (p *Pipeline) characterizeOne(ctx context.Context, rep *Report, key string, blockers []blockerDesc) (map[portmodel.PortSet]int, []Witness, bool, error) {
 	info := rep.Info[key]
 	found := map[portmodel.PortSet]int{}
 	var witnesses []Witness
@@ -189,14 +210,15 @@ func (p *Pipeline) characterizeOne(rep *Report, key string, blockers []blockerDe
 		k := blockCount(b.pu.Size(), info.UopsPostulated, info.TInv)
 		flood := portmodel.Experiment{b.key: k}
 		withI := portmodel.Experiment{b.key: k, key: 1}
-		tOnly, err := p.H.InvThroughput(flood)
+		rOnly, err := p.H.Engine.Measure(ctx, flood)
 		if err != nil {
 			return nil, nil, false, err
 		}
-		tWith, err := p.H.InvThroughput(withI)
+		rWith, err := p.H.Engine.Measure(ctx, withI)
 		if err != nil {
 			return nil, nil, false, err
 		}
+		tOnly, tWith := rOnly.InvThroughput, rWith.InvThroughput
 		raw := (tWith - tOnly) * float64(b.pu.Size())
 		n := int(math.Round(raw))
 		if n < 0 || math.Abs(raw-float64(n)) > 0.3 {

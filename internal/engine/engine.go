@@ -1,0 +1,563 @@
+// Package engine is the batch measurement engine of the
+// reproduction. The paper's case study spends 12–20 hours on
+// hardware microbenchmarks, and measurement volume dominates the
+// cost of every port-mapping inference approach (uops.info, PMEvo,
+// and Ritter & Hack alike). The engine restructures the measurement
+// path from call-at-a-time to batch-at-a-time: callers submit slices
+// of experiments plus a context.Context, and the engine executes
+// them across a configurable worker pool with
+//
+//   - a single canonical-key result cache,
+//   - in-flight request deduplication (singleflight-style), so the
+//     same experiment is never executed twice concurrently,
+//   - bounded retry on transient Execute errors,
+//   - cancellation that returns promptly with partial results, and
+//   - progress/metrics hooks (submitted / executed / cache hits /
+//     coalesced / wall-clock).
+//
+// Determinism under parallelism is the point: results must be
+// bit-for-bit identical regardless of worker count and scheduling
+// order. The engine guarantees that the set of processor executions
+// and their per-kernel order depend only on the submitted
+// experiments — never on scheduling — and the simulated machine
+// (internal/zensim) derives its noise RNG per execution from
+// (global seed, canonical kernel key, per-kernel repetition index),
+// so any interleaving of distinct kernels draws identical noise.
+//
+// measure.Harness remains as a thin compatibility wrapper over this
+// package for call-at-a-time use.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zenport/internal/portmodel"
+)
+
+// Counters are the raw performance-counter readings of one kernel
+// run, totalled over all iterations.
+type Counters struct {
+	// Cycles is the measured core cycle count (noisy).
+	Cycles float64
+	// Instructions is the number of retired instructions.
+	Instructions uint64
+	// Ops is the reading of the "Retired Uops" counter. On the Zen+
+	// model this counts macro-ops, not µops (§4.1.1).
+	Ops uint64
+	// PortOps[k] is the number of µops executed on port k. Only
+	// populated when the processor exposes per-port counters (the
+	// Intel-like mode used by the uops.info baseline); nil otherwise.
+	PortOps []float64
+	// FPPortOps[k] is the per-pipe counter of the four FP pipes,
+	// which Zen+ does provide (§4, "port usage of FP/vector
+	// instructions ... available").
+	FPPortOps []float64
+}
+
+// Processor abstracts the machine under measurement — on real
+// hardware this would drive nanoBench; here it is the Zen+ simulator
+// or a toy model.
+type Processor interface {
+	// Execute runs the kernel (a list of scheme keys) for the given
+	// number of steady-state iterations and returns total counters.
+	Execute(kernel []string, iterations int) (Counters, error)
+	// NumPorts returns the number of execution ports.
+	NumPorts() int
+	// Rmax returns the frontend/retire bottleneck in instructions
+	// per cycle (0 = none).
+	Rmax() float64
+}
+
+// Result is a processed measurement for one experiment. The zero
+// value (Runs == 0) marks an experiment that was not measured — the
+// partial-result signal after a cancelled batch.
+type Result struct {
+	// InvThroughput is the median inverse throughput in cycles per
+	// experiment iteration.
+	InvThroughput float64
+	// CPI is InvThroughput divided by the number of instructions.
+	CPI float64
+	// OpsPerIteration is the median op-counter reading per
+	// iteration (macro-ops on Zen+).
+	OpsPerIteration float64
+	// Spread is the relative spread (max−min)/median of the inverse
+	// throughput across the repetitions. Bimodal measurements — the
+	// unstable instructions of §4.1.2/§4.2 — show a large spread
+	// that the median alone would hide.
+	Spread float64
+	// PortOps is the median per-port µop count per iteration (nil
+	// without per-port counters).
+	PortOps []float64
+	// FPPortOps is the median per-FP-pipe µop count per iteration.
+	FPPortOps []float64
+	// Runs is the number of repetitions aggregated.
+	Runs int
+}
+
+// TransientError marks an Execute failure as retryable: the engine
+// re-issues the kernel up to Engine.MaxRetries times before giving
+// up. Permanent errors (unknown schemes, bad iteration counts)
+// abort immediately.
+type TransientError struct{ Err error }
+
+// Error implements error.
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable.
+func Transient(err error) error { return &TransientError{Err: err} }
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// Metrics is a snapshot of the engine's counters. All counts are
+// cumulative over the engine's lifetime; ClearCache does not reset
+// them.
+type Metrics struct {
+	// Submitted counts experiments handed to Measure/MeasureBatch.
+	Submitted uint64
+	// Completed counts experiments resolved with a result.
+	Completed uint64
+	// Executed counts distinct experiments actually run on the
+	// processor (cache misses that completed).
+	Executed uint64
+	// CacheHits counts experiments answered from the result cache.
+	CacheHits uint64
+	// Coalesced counts experiments that joined a duplicate — either
+	// within one batch or an in-flight execution of the same key.
+	Coalesced uint64
+	// Retries counts transient-error re-executions.
+	Retries uint64
+	// Canceled counts experiments abandoned due to context
+	// cancellation or deadline.
+	Canceled uint64
+	// BatchWall is the cumulative wall-clock time spent inside
+	// MeasureBatch.
+	BatchWall time.Duration
+}
+
+// Engine executes measurement batches over a worker pool with a
+// canonical-key cache. The exported configuration fields must be set
+// before the first measurement and not mutated concurrently with
+// one; New installs the paper's defaults.
+type Engine struct {
+	// P is the processor under measurement.
+	P Processor
+	// Reps is the number of repeated runs; the median is reported.
+	// The paper uses 11.
+	Reps int
+	// Iterations is the number of kernel iterations per run.
+	Iterations int
+	// Epsilon is the CPI equality tolerance (paper: 0.02).
+	Epsilon float64
+	// Workers is the size of the batch worker pool (≤0 means
+	// GOMAXPROCS). Results are identical for every value.
+	Workers int
+	// MaxRetries bounds re-executions after transient errors.
+	MaxRetries int
+	// OnProgress, if non-nil, receives (completed, total) after each
+	// unique experiment of a batch finishes. It is called from
+	// worker goroutines and must be safe for concurrent use.
+	OnProgress func(done, total int)
+
+	mu       sync.Mutex
+	cache    map[string]Result
+	inflight map[string]*call
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	executed  atomic.Uint64
+	cacheHits atomic.Uint64
+	coalesced atomic.Uint64
+	retries   atomic.Uint64
+	canceled  atomic.Uint64
+	wallNanos atomic.Int64
+}
+
+// call is one in-flight execution other submitters can wait on.
+type call struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// New returns an engine with the paper's measurement parameters: 11
+// repetitions, 100 iterations per run, ε = 0.02 CPI, GOMAXPROCS
+// workers, and up to 2 retries on transient errors.
+func New(p Processor) *Engine {
+	return &Engine{
+		P: p, Reps: 11, Iterations: 100, Epsilon: 0.02, MaxRetries: 2,
+		cache:    make(map[string]Result),
+		inflight: make(map[string]*call),
+	}
+}
+
+// CanonicalKey renders the experiment canonically ("n*key|m*key" in
+// sorted key order); it is the cache and deduplication identity and
+// the per-experiment RNG derivation input of the simulator.
+func CanonicalKey(e portmodel.Experiment) string {
+	keys := e.Keys()
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%d*%s", e[k], k))
+	}
+	return strings.Join(parts, "|")
+}
+
+// KernelOf flattens an experiment multiset into a deterministic
+// kernel: instructions interleaved round-robin so that the blocking
+// instructions surround the instruction under investigation, as the
+// paper's microbenchmarks do.
+func KernelOf(e portmodel.Experiment) []string {
+	keys := e.Keys()
+	remaining := make([]int, len(keys))
+	total := 0
+	for i, k := range keys {
+		remaining[i] = e[k]
+		total += e[k]
+	}
+	kernel := make([]string, 0, total)
+	for len(kernel) < total {
+		for i, k := range keys {
+			if remaining[i] > 0 {
+				kernel = append(kernel, k)
+				remaining[i]--
+			}
+		}
+	}
+	return kernel
+}
+
+// Measure runs one experiment through the cache, in-flight
+// deduplication, and the processor, honoring ctx.
+func (g *Engine) Measure(ctx context.Context, e portmodel.Experiment) (Result, error) {
+	if e.Len() == 0 {
+		return Result{}, fmt.Errorf("engine: empty experiment")
+	}
+	g.submitted.Add(1)
+	return g.measureKey(ctx, CanonicalKey(e), e)
+}
+
+// MeasureBatch executes the experiments across the worker pool and
+// returns results aligned with the input slice. Duplicate
+// experiments (same canonical key) are executed once. On
+// cancellation or error the partial results are returned together
+// with the first error; completed entries have Runs > 0.
+//
+// Results are deterministic: the set of processor executions and
+// their per-kernel order depend only on the submitted experiments,
+// never on Workers or goroutine scheduling.
+func (g *Engine) MeasureBatch(ctx context.Context, exps []portmodel.Experiment) ([]Result, error) {
+	start := time.Now()
+	defer func() { g.wallNanos.Add(int64(time.Since(start))) }()
+
+	results := make([]Result, len(exps))
+	g.submitted.Add(uint64(len(exps)))
+
+	// Deduplicate within the batch, preserving first-seen order.
+	type job struct {
+		key  string
+		exp  portmodel.Experiment
+		idxs []int
+	}
+	byKey := make(map[string]*job, len(exps))
+	var order []*job
+	for i, e := range exps {
+		if e.Len() == 0 {
+			return nil, fmt.Errorf("engine: empty experiment at index %d", i)
+		}
+		k := CanonicalKey(e)
+		j, ok := byKey[k]
+		if !ok {
+			j = &job{key: k, exp: e}
+			byKey[k] = j
+			order = append(order, j)
+		} else {
+			g.coalesced.Add(1)
+			g.completed.Add(1) // resolved by the first occurrence
+		}
+		j.idxs = append(j.idxs, i)
+	}
+
+	workers := g.workerCount()
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		return results, nil
+	}
+
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+		done     atomic.Int64
+		jobs     = make(chan *job)
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := g.measureKey(bctx, j.key, j.exp)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				for _, i := range j.idxs {
+					results[i] = r
+				}
+				n := done.Add(1)
+				if g.OnProgress != nil {
+					g.OnProgress(int(n), len(order))
+				}
+			}
+		}()
+	}
+feed:
+	for _, j := range order {
+		select {
+		case jobs <- j:
+		case <-bctx.Done():
+			fail(bctx.Err())
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, nil
+}
+
+// InvThroughputs is MeasureBatch returning only the median inverse
+// throughputs.
+func (g *Engine) InvThroughputs(ctx context.Context, exps []portmodel.Experiment) ([]float64, error) {
+	rs, err := g.MeasureBatch(ctx, exps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.InvThroughput
+	}
+	return out, nil
+}
+
+// measureKey resolves one canonical key through cache and in-flight
+// deduplication. If a concurrent leader fails, the caller retries as
+// leader itself so the error it reports reflects its own context.
+func (g *Engine) measureKey(ctx context.Context, key string, e portmodel.Experiment) (Result, error) {
+	for {
+		g.mu.Lock()
+		if r, ok := g.cache[key]; ok {
+			g.mu.Unlock()
+			g.cacheHits.Add(1)
+			g.completed.Add(1)
+			return r, nil
+		}
+		if c, ok := g.inflight[key]; ok {
+			g.mu.Unlock()
+			g.coalesced.Add(1)
+			select {
+			case <-c.done:
+				if c.err != nil {
+					continue // leader failed; try to lead ourselves
+				}
+				g.completed.Add(1)
+				return c.res, nil
+			case <-ctx.Done():
+				g.canceled.Add(1)
+				return Result{}, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		g.inflight[key] = c
+		g.mu.Unlock()
+
+		c.res, c.err = g.execute(ctx, e)
+		g.mu.Lock()
+		delete(g.inflight, key)
+		if c.err == nil {
+			g.cache[key] = c.res
+		}
+		g.mu.Unlock()
+		close(c.done)
+		if c.err != nil {
+			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+				g.canceled.Add(1)
+			}
+			return Result{}, c.err
+		}
+		g.executed.Add(1)
+		g.completed.Add(1)
+		return c.res, nil
+	}
+}
+
+// execute runs the experiment Reps times and aggregates the median
+// result, checking ctx between repetitions.
+func (g *Engine) execute(ctx context.Context, e portmodel.Experiment) (Result, error) {
+	kernel := KernelOf(e)
+	n := len(kernel)
+	reps := g.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	iters := g.Iterations
+	if iters < 1 {
+		iters = 100
+	}
+
+	cyc := make([]float64, 0, reps)
+	ops := make([]float64, 0, reps)
+	var portOps [][]float64
+	var fpOps [][]float64
+	for r := 0; r < reps; r++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		c, err := g.executeOnce(kernel, iters)
+		if err != nil {
+			return Result{}, err
+		}
+		cyc = append(cyc, c.Cycles/float64(iters))
+		ops = append(ops, float64(c.Ops)/float64(iters))
+		if c.PortOps != nil {
+			po := make([]float64, len(c.PortOps))
+			for k := range po {
+				po[k] = c.PortOps[k] / float64(iters)
+			}
+			portOps = append(portOps, po)
+		}
+		if c.FPPortOps != nil {
+			fo := make([]float64, len(c.FPPortOps))
+			for k := range fo {
+				fo[k] = c.FPPortOps[k] / float64(iters)
+			}
+			fpOps = append(fpOps, fo)
+		}
+	}
+	res := Result{
+		InvThroughput:   median(cyc),
+		OpsPerIteration: median(ops),
+		Runs:            reps,
+	}
+	res.CPI = res.InvThroughput / float64(n)
+	if res.InvThroughput > 0 {
+		lo, hi := cyc[0], cyc[len(cyc)-1] // median() sorted cyc
+		res.Spread = (hi - lo) / res.InvThroughput
+	}
+	if len(portOps) > 0 {
+		res.PortOps = medianVec(portOps)
+	}
+	if len(fpOps) > 0 {
+		res.FPPortOps = medianVec(fpOps)
+	}
+	return res, nil
+}
+
+// executeOnce issues one kernel run with bounded retry on transient
+// errors.
+func (g *Engine) executeOnce(kernel []string, iters int) (Counters, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c, err := g.P.Execute(kernel, iters)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if !IsTransient(err) || attempt >= g.MaxRetries {
+			return Counters{}, lastErr
+		}
+		g.retries.Add(1)
+	}
+}
+
+// workerCount resolves the configured pool size.
+func (g *Engine) workerCount() int {
+	if g.Workers > 0 {
+		return g.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// MeasurementCount returns the number of distinct experiments
+// actually executed on the processor (cache misses).
+func (g *Engine) MeasurementCount() int {
+	return int(g.executed.Load())
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (g *Engine) Metrics() Metrics {
+	return Metrics{
+		Submitted: g.submitted.Load(),
+		Completed: g.completed.Load(),
+		Executed:  g.executed.Load(),
+		CacheHits: g.cacheHits.Load(),
+		Coalesced: g.coalesced.Load(),
+		Retries:   g.retries.Load(),
+		Canceled:  g.canceled.Load(),
+		BatchWall: time.Duration(g.wallNanos.Load()),
+	}
+}
+
+// ClearCache drops all cached results (used when re-running the
+// characterization stage with fresh noise, §4.4). Metrics are
+// preserved.
+func (g *Engine) ClearCache() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cache = make(map[string]Result)
+}
+
+// median returns the median of xs (xs is reordered).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// medianVec returns the component-wise median of equal-length vectors.
+func medianVec(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vs[0]))
+	col := make([]float64, len(vs))
+	for k := range out {
+		for i := range vs {
+			col[i] = vs[i][k]
+		}
+		out[k] = median(col)
+	}
+	return out
+}

@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -65,26 +66,37 @@ type Block struct {
 // SampleBlocks generates n random dependency-free blocks of
 // blockLen instructions drawn from keys and measures their IPC.
 func SampleBlocks(h *measure.Harness, keys []string, n, blockLen int, seed int64) ([]Block, error) {
+	return SampleBlocksContext(context.Background(), h, keys, n, blockLen, seed)
+}
+
+// SampleBlocksContext is SampleBlocks with cancellation. The block
+// set is generated first — the RNG draw order is independent of
+// measurement outcomes — and then measured as one engine batch.
+func SampleBlocksContext(ctx context.Context, h *measure.Harness, keys []string, n, blockLen int, seed int64) ([]Block, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("eval: no schemes to sample from")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	sorted := append([]string(nil), keys...)
 	sort.Strings(sorted)
-	blocks := make([]Block, 0, n)
+	exps := make([]portmodel.Experiment, n)
 	for i := 0; i < n; i++ {
 		e := make(portmodel.Experiment)
 		for j := 0; j < blockLen; j++ {
 			e[sorted[rng.Intn(len(sorted))]]++
 		}
-		r, err := h.Measure(e)
-		if err != nil {
-			return nil, err
-		}
-		if r.InvThroughput <= 0 {
+		exps[i] = e
+	}
+	results, err := h.MeasureBatch(ctx, exps)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]Block, 0, n)
+	for i, e := range exps {
+		if results[i].InvThroughput <= 0 {
 			continue
 		}
-		blocks = append(blocks, Block{Exp: e, IPC: float64(e.Len()) / r.InvThroughput})
+		blocks = append(blocks, Block{Exp: e, IPC: float64(e.Len()) / results[i].InvThroughput})
 	}
 	return blocks, nil
 }

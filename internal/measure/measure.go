@@ -5,206 +5,52 @@
 // raw counters into inverse throughput and per-instruction op counts,
 // and provides the ε-equality on cycles-per-instruction used
 // throughout the inference pipeline (§3.3.4, §4).
+//
+// Since the batch-engine refactor, the harness is a thin
+// compatibility wrapper over internal/engine, which owns the worker
+// pool, the canonical-key cache, in-flight deduplication, retry, and
+// metrics. Harness keeps the call-at-a-time interface that the
+// examples and the ε-equality helpers use.
 package measure
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+	"context"
 
+	"zenport/internal/engine"
 	"zenport/internal/portmodel"
 )
 
 // Counters are the raw performance-counter readings of one kernel
-// run, totalled over all iterations.
-type Counters struct {
-	// Cycles is the measured core cycle count (noisy).
-	Cycles float64
-	// Instructions is the number of retired instructions.
-	Instructions uint64
-	// Ops is the reading of the "Retired Uops" counter. On the Zen+
-	// model this counts macro-ops, not µops (§4.1.1).
-	Ops uint64
-	// PortOps[k] is the number of µops executed on port k. Only
-	// populated when the processor exposes per-port counters (the
-	// Intel-like mode used by the uops.info baseline); nil otherwise.
-	PortOps []float64
-	// FPPortOps[k] is the per-pipe counter of the four FP pipes,
-	// which Zen+ does provide (§4, "port usage of FP/vector
-	// instructions ... available").
-	FPPortOps []float64
-}
+// run; see engine.Counters.
+type Counters = engine.Counters
 
-// Processor abstracts the machine under measurement — on real
-// hardware this would drive nanoBench; here it is the Zen+ simulator
-// or a toy model.
-type Processor interface {
-	// Execute runs the kernel (a list of scheme keys) for the given
-	// number of steady-state iterations and returns total counters.
-	Execute(kernel []string, iterations int) (Counters, error)
-	// NumPorts returns the number of execution ports.
-	NumPorts() int
-	// Rmax returns the frontend/retire bottleneck in instructions
-	// per cycle (0 = none).
-	Rmax() float64
-}
+// Processor abstracts the machine under measurement; see
+// engine.Processor.
+type Processor = engine.Processor
 
-// Result is a processed measurement for one experiment.
-type Result struct {
-	// InvThroughput is the median inverse throughput in cycles per
-	// experiment iteration.
-	InvThroughput float64
-	// CPI is InvThroughput divided by the number of instructions.
-	CPI float64
-	// OpsPerIteration is the median op-counter reading per
-	// iteration (macro-ops on Zen+).
-	OpsPerIteration float64
-	// Spread is the relative spread (max−min)/median of the inverse
-	// throughput across the repetitions. Bimodal measurements — the
-	// unstable instructions of §4.1.2/§4.2 — show a large spread
-	// that the median alone would hide.
-	Spread float64
-	// PortOps is the median per-port µop count per iteration (nil
-	// without per-port counters).
-	PortOps []float64
-	// FPPortOps is the median per-FP-pipe µop count per iteration.
-	FPPortOps []float64
-	// Runs is the number of repetitions aggregated.
-	Runs int
-}
+// Result is a processed measurement for one experiment; see
+// engine.Result.
+type Result = engine.Result
 
-// Harness runs measurements with repetition and caching.
+// Harness runs measurements with repetition and caching. It embeds
+// the batch engine, so engine configuration (P, Reps, Iterations,
+// Epsilon, Workers) and batch methods (MeasureBatch, Metrics,
+// ClearCache, MeasurementCount) are available directly.
 type Harness struct {
-	// P is the processor under measurement.
-	P Processor
-	// Reps is the number of repeated runs; the median is reported.
-	// The paper uses 11.
-	Reps int
-	// Iterations is the number of kernel iterations per run.
-	Iterations int
-	// Epsilon is the CPI equality tolerance (paper: 0.02).
-	Epsilon float64
-
-	mu    sync.Mutex
-	cache map[string]Result
-	// runs counts distinct (uncached) measurements, for reporting.
-	runs int
+	*engine.Engine
 }
 
 // NewHarness returns a harness with the paper's parameters: 11
 // repetitions, ε = 0.02 CPI.
 func NewHarness(p Processor) *Harness {
-	return &Harness{P: p, Reps: 11, Iterations: 100, Epsilon: 0.02, cache: make(map[string]Result)}
-}
-
-// kernelOf flattens an experiment multiset into a deterministic
-// kernel: instructions interleaved round-robin so that the blocking
-// instructions surround the instruction under investigation, as the
-// paper's microbenchmarks do.
-func kernelOf(e portmodel.Experiment) []string {
-	keys := e.Keys()
-	remaining := make([]int, len(keys))
-	total := 0
-	for i, k := range keys {
-		remaining[i] = e[k]
-		total += e[k]
-	}
-	kernel := make([]string, 0, total)
-	for len(kernel) < total {
-		for i, k := range keys {
-			if remaining[i] > 0 {
-				kernel = append(kernel, k)
-				remaining[i]--
-			}
-		}
-	}
-	return kernel
-}
-
-// cacheKey renders the experiment canonically.
-func cacheKey(e portmodel.Experiment) string {
-	keys := e.Keys()
-	parts := make([]string, 0, len(keys))
-	for _, k := range keys {
-		parts = append(parts, fmt.Sprintf("%d*%s", e[k], k))
-	}
-	return strings.Join(parts, "|")
+	return &Harness{Engine: engine.New(p)}
 }
 
 // Measure runs the experiment Reps times and returns the processed
-// median result. Results are cached per experiment.
+// median result. Results are cached per experiment. It is the
+// context-free form of Engine.Measure.
 func (h *Harness) Measure(e portmodel.Experiment) (Result, error) {
-	if e.Len() == 0 {
-		return Result{}, fmt.Errorf("measure: empty experiment")
-	}
-	ck := cacheKey(e)
-	h.mu.Lock()
-	if r, ok := h.cache[ck]; ok {
-		h.mu.Unlock()
-		return r, nil
-	}
-	h.mu.Unlock()
-
-	kernel := kernelOf(e)
-	n := len(kernel)
-	reps := h.Reps
-	if reps < 1 {
-		reps = 1
-	}
-	iters := h.Iterations
-	if iters < 1 {
-		iters = 100
-	}
-
-	cyc := make([]float64, 0, reps)
-	ops := make([]float64, 0, reps)
-	var portOps [][]float64
-	var fpOps [][]float64
-	for r := 0; r < reps; r++ {
-		c, err := h.P.Execute(kernel, iters)
-		if err != nil {
-			return Result{}, err
-		}
-		cyc = append(cyc, c.Cycles/float64(iters))
-		ops = append(ops, float64(c.Ops)/float64(iters))
-		if c.PortOps != nil {
-			po := make([]float64, len(c.PortOps))
-			for k := range po {
-				po[k] = c.PortOps[k] / float64(iters)
-			}
-			portOps = append(portOps, po)
-		}
-		if c.FPPortOps != nil {
-			fo := make([]float64, len(c.FPPortOps))
-			for k := range fo {
-				fo[k] = c.FPPortOps[k] / float64(iters)
-			}
-			fpOps = append(fpOps, fo)
-		}
-	}
-	res := Result{
-		InvThroughput:   median(cyc),
-		OpsPerIteration: median(ops),
-		Runs:            reps,
-	}
-	res.CPI = res.InvThroughput / float64(n)
-	if res.InvThroughput > 0 {
-		lo, hi := cyc[0], cyc[len(cyc)-1] // median() sorted cyc
-		res.Spread = (hi - lo) / res.InvThroughput
-	}
-	if len(portOps) > 0 {
-		res.PortOps = medianVec(portOps)
-	}
-	if len(fpOps) > 0 {
-		res.FPPortOps = medianVec(fpOps)
-	}
-
-	h.mu.Lock()
-	h.cache[ck] = res
-	h.runs++
-	h.mu.Unlock()
-	return res, nil
+	return h.Engine.Measure(context.Background(), e)
 }
 
 // InvThroughput is a convenience wrapper returning only the median
@@ -239,54 +85,9 @@ func (h *Harness) TPEqual(t1, t2 float64, length int) bool {
 	return abs(t1-t2) <= h.Epsilon*float64(length)
 }
 
-// MeasurementCount returns the number of distinct experiments
-// actually measured (cache misses).
-func (h *Harness) MeasurementCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.runs
-}
-
-// ClearCache drops all cached results (used when re-running the
-// characterization stage with fresh noise, §4.4).
-func (h *Harness) ClearCache() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.cache = make(map[string]Result)
-}
-
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x
 	}
 	return x
-}
-
-// median returns the median of xs (xs is reordered).
-func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	sort.Float64s(xs)
-	n := len(xs)
-	if n%2 == 1 {
-		return xs[n/2]
-	}
-	return (xs[n/2-1] + xs[n/2]) / 2
-}
-
-// medianVec returns the component-wise median of equal-length vectors.
-func medianVec(vs [][]float64) []float64 {
-	if len(vs) == 0 {
-		return nil
-	}
-	out := make([]float64, len(vs[0]))
-	col := make([]float64, len(vs))
-	for k := range out {
-		for i := range vs {
-			col[i] = vs[i][k]
-		}
-		out[k] = median(col)
-	}
-	return out
 }

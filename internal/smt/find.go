@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -21,11 +22,21 @@ const maxTheoryIterations = 200000
 // experiments (the paper's findMapping, §3.3.3). It returns
 // ErrNoMapping if the observations contradict the model.
 func (in *Instance) FindMapping(exps []MeasuredExp) (*portmodel.Mapping, error) {
+	return in.FindMappingContext(context.Background(), exps)
+}
+
+// FindMappingContext is FindMapping with cancellation: the DPLL(T)
+// refinement loop checks ctx between iterations and returns ctx.Err()
+// when it fires.
+func (in *Instance) FindMappingContext(ctx context.Context, exps []MeasuredExp) (*portmodel.Mapping, error) {
 	enc, err := in.encode(true)
 	if err != nil {
 		return nil, err
 	}
 	for iter := 0; iter < maxTheoryIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if enc.s.Solve() != sat.Sat {
 			return nil, ErrNoMapping
 		}
@@ -97,6 +108,12 @@ type OtherMapping struct {
 // "stratified approach"). It returns nil if every consistent mapping
 // is indistinguishable from m1 within those bounds.
 func (in *Instance) FindOtherMapping(exps []MeasuredExp, m1 *portmodel.Mapping, maxDistinct, maxTotal, maxCandidates int) (*OtherMapping, error) {
+	return in.FindOtherMappingContext(context.Background(), exps, m1, maxDistinct, maxTotal, maxCandidates)
+}
+
+// FindOtherMappingContext is FindOtherMapping with cancellation,
+// checking ctx between candidate-enumeration iterations.
+func (in *Instance) FindOtherMappingContext(ctx context.Context, exps []MeasuredExp, m1 *portmodel.Mapping, maxDistinct, maxTotal, maxCandidates int) (*OtherMapping, error) {
 	enc, err := in.encode(true)
 	if err != nil {
 		return nil, err
@@ -109,6 +126,9 @@ func (in *Instance) FindOtherMapping(exps []MeasuredExp, m1 *portmodel.Mapping, 
 	}
 	candidates := 0
 	for iter := 0; iter < maxTheoryIterations && candidates < maxCandidates; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if enc.s.Solve() != sat.Sat {
 			return nil, nil
 		}

@@ -63,12 +63,23 @@ type Config struct {
 }
 
 // Machine is a simulated Zen+ processor.
+//
+// Noise is drawn from a per-execution RNG derived from (global seed,
+// kernel hash, per-kernel repetition index) rather than a shared
+// stream, so concurrent measurement of distinct kernels — the batch
+// engine's worker pool — observes exactly the same noise as a
+// sequential run: the draws for one kernel depend only on that
+// kernel and on how many times it has run before, never on what else
+// runs in between.
 type Machine struct {
 	db  *zen.DB
 	cfg Config
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu sync.Mutex
+	// seq counts prior executions per kernel hash; it feeds the
+	// repetition index into the per-execution RNG seed so repeated
+	// runs of one kernel still vary (bimodal instability, §4.1.2).
+	seq map[uint64]uint64
 }
 
 var _ measure.Processor = (*Machine)(nil)
@@ -81,7 +92,40 @@ func NewMachine(db *zen.DB, cfg Config) *Machine {
 	if cfg.Noise < 0 {
 		cfg.Noise = 0
 	}
-	return &Machine{db: db, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Machine{db: db, cfg: cfg, seq: make(map[uint64]uint64)}
+}
+
+// kernelRNG returns the RNG for one execution of kernel, seeded from
+// (cfg.Seed, FNV-64a of the kernel, this kernel's repetition index)
+// mixed through a splitmix64 finalizer.
+func (m *Machine) kernelRNG(kernel []string) *rand.Rand {
+	h := fnv.New64a()
+	for _, k := range kernel {
+		_, _ = h.Write([]byte(k))
+		_, _ = h.Write([]byte{0})
+	}
+	kh := h.Sum64()
+	m.mu.Lock()
+	n := m.seq[kh]
+	m.seq[kh] = n + 1
+	m.mu.Unlock()
+	z := splitmix64(uint64(m.cfg.Seed))
+	z = splitmix64(z ^ kh)
+	z = splitmix64(z ^ n)
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it
+// scatters structured inputs (small seeds, similar hashes) across
+// the full 64-bit state space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // NumPorts returns the port count of the Zen+ model.
@@ -107,6 +151,8 @@ func (m *Machine) Execute(kernel []string, iterations int) (measure.Counters, er
 		specs[i] = sp
 	}
 
+	rng := m.kernelRNG(kernel)
+
 	var perIter float64
 	var portLoads []float64
 	var err error
@@ -114,7 +160,7 @@ func (m *Machine) Execute(kernel []string, iterations int) (measure.Counters, er
 	case Cycle:
 		perIter, portLoads, err = m.cycleExecute(specs)
 	default:
-		perIter, portLoads, err = m.analyticExecute(specs)
+		perIter, portLoads, err = m.analyticExecute(specs, rng)
 	}
 	if err != nil {
 		return measure.Counters{}, err
@@ -133,11 +179,9 @@ func (m *Machine) Execute(kernel []string, iterations int) (measure.Counters, er
 		}
 	}
 
-	m.mu.Lock()
 	if m.cfg.Noise > 0 {
-		cycles *= 1 + m.rng.NormFloat64()*m.cfg.Noise
+		cycles *= 1 + rng.NormFloat64()*m.cfg.Noise
 	}
-	m.mu.Unlock()
 	if cycles < 0 {
 		cycles = 0
 	}
@@ -166,7 +210,7 @@ func (m *Machine) Execute(kernel []string, iterations int) (measure.Counters, er
 // analyticExecute computes the steady-state inverse throughput of one
 // kernel iteration plus the per-port µop loads of an optimal
 // schedule.
-func (m *Machine) analyticExecute(specs []*zen.Spec) (float64, []float64, error) {
+func (m *Machine) analyticExecute(specs []*zen.Spec, rng *rand.Rand) (float64, []float64, error) {
 	// Accumulate occupancy-weighted µop mass per port set.
 	mass := make(map[portmodel.PortSet]float64)
 	for _, sp := range specs {
@@ -194,7 +238,7 @@ func (m *Machine) analyticExecute(specs []*zen.Spec) (float64, []float64, error)
 		t = frontend
 	}
 	if !m.cfg.DisableAnomalies {
-		t += m.anomalyExtra(specs, mass)
+		t += m.anomalyExtra(specs, mass, rng)
 	}
 	return t, loads, nil
 }
@@ -202,7 +246,7 @@ func (m *Machine) analyticExecute(specs []*zen.Spec) (float64, []float64, error)
 // anomalyExtra models the Zen+ behaviours of §4.1–§4.3 that fall
 // outside the port mapping model. It returns additional cycles per
 // kernel iteration.
-func (m *Machine) anomalyExtra(specs []*zen.Spec, mass map[portmodel.PortSet]float64) float64 {
+func (m *Machine) anomalyExtra(specs []*zen.Spec, mass map[portmodel.PortSet]float64, rng *rand.Rand) float64 {
 	distinct := make(map[string]bool, len(specs))
 	for _, sp := range specs {
 		distinct[sp.Key()] = true
@@ -249,11 +293,9 @@ func (m *Machine) anomalyExtra(specs []*zen.Spec, mass map[portmodel.PortSet]flo
 		// slow runs when benchmarked with others; §4.1.2: 64-bit
 		// immediate movs are unreliable even alone.
 		if a.Has(isa.AttrUnstablePair) && mixed || a.Has(isa.AttrMov64Imm) {
-			m.mu.Lock()
-			if m.rng.Intn(2) == 1 {
+			if rng.Intn(2) == 1 {
 				extra += 0.35
 			}
-			m.mu.Unlock()
 		}
 	}
 	return extra

@@ -24,7 +24,10 @@
 package zenport
 
 import (
+	"context"
+
 	"zenport/internal/core"
+	"zenport/internal/engine"
 	"zenport/internal/isa"
 	"zenport/internal/measure"
 	"zenport/internal/portmodel"
@@ -55,6 +58,14 @@ type (
 	Processor = measure.Processor
 	// Counters are raw performance-counter readings.
 	Counters = measure.Counters
+	// Engine is the batch measurement engine: worker pool,
+	// canonical-key cache, in-flight deduplication, bounded retry,
+	// and cancellation.
+	Engine = engine.Engine
+	// EngineMetrics is a snapshot of the engine's counters.
+	EngineMetrics = engine.Metrics
+	// MeasureResult is a processed measurement for one experiment.
+	MeasureResult = engine.Result
 
 	// SimConfig configures the simulated Zen+ machine.
 	SimConfig = zensim.Config
@@ -111,6 +122,10 @@ func NewZenMachine(db *zen.DB, cfg SimConfig) *Machine { return zensim.NewMachin
 // parameters (11 repetitions, ε = 0.02 CPI).
 func NewHarness(p Processor) *Harness { return measure.NewHarness(p) }
 
+// NewEngine builds a batch measurement engine with the paper's
+// parameters and a GOMAXPROCS-sized worker pool.
+func NewEngine(p Processor) *Engine { return engine.New(p) }
+
 // DefaultOptions returns the paper's pipeline parameters.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
@@ -118,4 +133,11 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // over the given schemes, measuring through the harness.
 func Infer(h *Harness, schemes []Scheme, opts Options) (*Report, error) {
 	return core.NewPipeline(h, schemes, opts).Run()
+}
+
+// InferContext is Infer with cancellation: measurement batches and
+// solver queries stop promptly when ctx fires, and the error wraps
+// ctx.Err().
+func InferContext(ctx context.Context, h *Harness, schemes []Scheme, opts Options) (*Report, error) {
+	return core.NewPipeline(h, schemes, opts).RunContext(ctx)
 }
