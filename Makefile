@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages under the race detector: the batch
+# engine (worker pool, cache, persist hook) and the pipeline on top of
+# it (kill-and-resume golden tests).
+race:
+	$(GO) test -race -timeout 20m ./internal/engine/... ./internal/core/...
+
+# verify is the tier-1 gate: everything must build, vet clean, pass
+# the full test suite, and pass the race detector on the concurrent
+# packages.
+verify: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+clean:
+	$(GO) clean ./...

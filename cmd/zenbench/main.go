@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,6 +32,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the measurement after this duration (0 = none)")
 	intel := flag.Bool("intel", false, "enable Intel-like per-port µop counters")
 	ideal := flag.Bool("ideal", false, "disable the Zen+ anomalies")
+	cacheDir := flag.String("cache-dir", "", "crash-safe measurement cache directory (empty = no persistence)")
 	flag.Parse()
 
 	db := zenport.ZenDB()
@@ -50,6 +53,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Unknown scheme keys are user input, not bugs: report them with
+	// suggestions and exit 1 instead of dumping a stack trace.
+	for _, key := range sortedKeys(e) {
+		if _, err := db.SchemeByKey(key); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	n := *noise
 	if n == 0 {
 		n = -1
@@ -59,6 +70,17 @@ func main() {
 	})
 	h := zenport.NewHarness(machine)
 	h.Workers = *parallel
+	if *cacheDir != "" {
+		store, err := zenport.OpenCache(*cacheDir, zenport.RunFingerprint(machine, h.Engine))
+		if err != nil {
+			log.Fatalf("opening cache: %v", err)
+		}
+		store.Log = log.Printf
+		defer store.Close()
+		if err := store.Attach(h.Engine); err != nil {
+			log.Fatalf("attaching cache: %v", err)
+		}
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -116,6 +138,15 @@ func parseKernel(s string) (zenport.Experiment, error) {
 		return nil, fmt.Errorf("empty kernel %q", s)
 	}
 	return e, nil
+}
+
+func sortedKeys(e zenport.Experiment) []string {
+	keys := make([]string, 0, e.Len())
+	for k := range e {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func fmtVec(v []float64) string {

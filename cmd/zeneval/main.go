@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	zeneval [-blocks N] [-schemes N] [-seed N] [-parallel N] [-timeout D] [-fast]
+//	zeneval [-blocks N] [-schemes N] [-seed N] [-parallel N] [-timeout D] [-cache-dir DIR] [-resume] [-fast]
+//
+// With -cache-dir, inference measurements are journaled crash-safe on
+// disk and reused by later runs under the same configuration; with
+// -resume, the inference phase restarts from its last completed
+// pipeline stage.
 package main
 
 import (
@@ -31,9 +36,15 @@ func main() {
 	seed := flag.Int64("seed", 2600, "random seed")
 	parallel := flag.Int("parallel", 0, "measurement worker pool size (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (0 = none)")
+	cacheDir := flag.String("cache-dir", "", "crash-safe measurement cache directory (empty = no persistence)")
+	resume := flag.Bool("resume", false, "resume an interrupted inference from its checkpoints (requires -cache-dir)")
 	fast := flag.Bool("fast", false, "smaller PMEvo budget")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
+
+	if *resume && *cacheDir == "" {
+		log.Fatal("-resume requires -cache-dir")
+	}
 
 	db := zenport.ZenDB()
 	machine := zenport.NewZenMachine(db, zenport.SimConfig{Noise: 0.001, Seed: *seed})
@@ -50,6 +61,26 @@ func main() {
 	opts := zenport.DefaultOptions()
 	if !*quiet {
 		opts.Log = func(f string, a ...any) { log.Printf(f, a...) }
+	}
+	if *cacheDir != "" {
+		fp := zenport.RunFingerprint(machine, h.Engine)
+		store, err := zenport.OpenCache(*cacheDir, fp)
+		if err != nil {
+			log.Fatalf("opening cache: %v", err)
+		}
+		if !*quiet {
+			store.Log = func(f string, a ...any) { log.Printf(f, a...) }
+		}
+		defer store.Close()
+		if err := store.Attach(h.Engine); err != nil {
+			log.Fatalf("attaching cache: %v", err)
+		}
+		ck, err := zenport.NewCheckpointer(*cacheDir, fp)
+		if err != nil {
+			log.Fatalf("opening checkpoints: %v", err)
+		}
+		opts.Checkpointer = ck
+		opts.Resume = *resume
 	}
 	log.Printf("running inference pipeline...")
 	rep, err := zenport.InferContext(ctx, h, zenport.ZenSchemes(db), opts)

@@ -8,11 +8,16 @@
 //
 // Usage:
 //
-//	zeninfer [-seed N] [-noise F] [-parallel N] [-timeout D] [-max-schemes N] [-out mapping.json] [-witnesses]
+//	zeninfer [-seed N] [-noise F] [-parallel N] [-timeout D] [-max-schemes N] [-cache-dir DIR] [-resume] [-out mapping.json] [-witnesses]
 //
 // Measurements run through the batch engine; -parallel sets the
 // worker-pool size (results are byte-identical for every value) and
 // -timeout bounds the whole inference.
+//
+// With -cache-dir, every executed measurement is journaled crash-safe
+// on disk and reused by later runs under the same configuration; with
+// -resume, an interrupted run additionally restarts from its last
+// completed pipeline stage and produces byte-identical output.
 package main
 
 import (
@@ -34,10 +39,16 @@ func main() {
 	maxSchemes := flag.Int("max-schemes", 0, "limit the number of schemes (0 = all)")
 	parallel := flag.Int("parallel", 0, "measurement worker pool size (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort inference after this duration (0 = none)")
+	cacheDir := flag.String("cache-dir", "", "crash-safe measurement cache directory (empty = no persistence)")
+	resume := flag.Bool("resume", false, "resume an interrupted run from its checkpoints (requires -cache-dir)")
 	out := flag.String("out", "", "write the final mapping to this JSON file")
 	witnesses := flag.Bool("witnesses", false, "print the CEGAR witness experiments")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
+
+	if *resume && *cacheDir == "" {
+		log.Fatal("-resume requires -cache-dir")
+	}
 
 	db := zenport.ZenDB()
 	n := *noise
@@ -56,6 +67,27 @@ func main() {
 	opts := zenport.DefaultOptions()
 	if !*quiet {
 		opts.Log = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	if *cacheDir != "" {
+		fp := zenport.RunFingerprint(machine, h.Engine)
+		store, err := zenport.OpenCache(*cacheDir, fp)
+		if err != nil {
+			log.Fatalf("opening cache: %v", err)
+		}
+		if !*quiet {
+			store.Log = func(format string, args ...any) { log.Printf(format, args...) }
+		}
+		defer store.Close()
+		if err := store.Attach(h.Engine); err != nil {
+			log.Fatalf("attaching cache: %v", err)
+		}
+		ck, err := zenport.NewCheckpointer(*cacheDir, fp)
+		if err != nil {
+			log.Fatalf("opening checkpoints: %v", err)
+		}
+		opts.Checkpointer = ck
+		opts.Resume = *resume
 	}
 
 	ctx := context.Background()

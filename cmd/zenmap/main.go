@@ -55,6 +55,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Unknown scheme keys are user input: report them with
+		// suggestions and exit 1 instead of a bare lookup failure.
+		db := zenport.ZenDB()
+		for key := range e {
+			if _, ok := m.Get(key); ok {
+				continue
+			}
+			if _, err := db.SchemeByKey(key); err != nil {
+				log.Fatal(err)
+			}
+			log.Fatalf("scheme %q is not covered by the mapping %s", key, *in)
+		}
 		tp, err := m.InverseThroughputBounded(e, 5)
 		if err != nil {
 			log.Fatal(err)

@@ -348,7 +348,11 @@ func goldenSubset(db *zen.DB) []isa.Scheme {
 func TestPipelineWorkerCountInvariance(t *testing.T) {
 	db := zen.Build()
 	var golden []byte
-	for _, workers := range []int{1, 4, 16} {
+	workerSweep := []int{1, 4, 16}
+	if raceEnabled {
+		workerSweep = []int{1, 4}
+	}
+	for _, workers := range workerSweep {
 		p, _ := newZenPipeline(t, goldenSubset(db), 42)
 		p.H.Workers = workers
 		rep, err := p.RunContext(context.Background())

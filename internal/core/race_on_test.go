@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled trims the heaviest golden-test sweeps under the race
+// detector, whose ~10× slowdown would otherwise push the package past
+// the test timeout without adding coverage.
+const raceEnabled = true

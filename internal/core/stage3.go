@@ -18,25 +18,9 @@ import (
 // Zen+) are isolated and excluded, together with all schemes sharing
 // their mnemonic.
 func (p *Pipeline) stage3(ctx context.Context, rep *Report) error {
-	inst := &smt.Instance{
-		NumPorts: p.Opts.NumPorts,
-		Rmax:     p.H.P.Rmax(),
-		Epsilon:  p.Opts.Epsilon,
-	}
-	for i := range rep.Classes {
-		cls := &rep.Classes[i]
-		inst.Uops = append(inst.Uops, smt.UopSpec{Key: cls.Rep, NumPorts: cls.PortCount})
-	}
-	// Improper blockers: two µops, one tied to a proper blocker's
-	// port set (§4.3, "We augment the SMT formulas such that...").
-	for _, ib := range p.Opts.ImproperBlockers {
-		if _, ok := rep.Info[ib.Key]; !ok {
-			return fmt.Errorf("improper blocker %q was not measured in stage 1", ib.Key)
-		}
-		inst.Uops = append(inst.Uops,
-			smt.UopSpec{Key: ib.Key, NumPorts: 0},
-			smt.UopSpec{Key: ib.Key, TiedToBlocker: true},
-		)
+	inst, err := p.buildSMTInstance(rep)
+	if err != nil {
+		return err
 	}
 
 	// Seed experiments: every blocker executed alone, as one batch.
@@ -82,7 +66,7 @@ func (p *Pipeline) stage3(ctx context.Context, rep *Report) error {
 			return err
 		}
 		if other == nil {
-			p.finishStage3(rep, m1)
+			p.finishStage3(rep, inst, m1)
 			rep.CEGARRounds = round
 			return nil
 		}
@@ -108,15 +92,45 @@ func (p *Pipeline) stage3(ctx context.Context, rep *Report) error {
 	if err != nil {
 		return err
 	}
-	p.finishStage3(rep, m1)
+	p.finishStage3(rep, inst, m1)
 	rep.CEGARRounds = p.Opts.MaxCEGARRounds
 	return nil
 }
 
-// finishStage3 stores the blocker mapping and back-fills the inferred
-// port sets into the blocking classes.
-func (p *Pipeline) finishStage3(rep *Report, m *portmodel.Mapping) {
+// buildSMTInstance assembles the CEGAR solver instance over the
+// blocking classes plus the manually added improper blockers (§4.3,
+// "We augment the SMT formulas such that..."). It is also rebuilt on
+// resume to validate checkpointed lemmas against the instance shape.
+func (p *Pipeline) buildSMTInstance(rep *Report) (*smt.Instance, error) {
+	inst := &smt.Instance{
+		NumPorts: p.Opts.NumPorts,
+		Rmax:     p.H.P.Rmax(),
+		Epsilon:  p.Opts.Epsilon,
+	}
+	for i := range rep.Classes {
+		cls := &rep.Classes[i]
+		inst.Uops = append(inst.Uops, smt.UopSpec{Key: cls.Rep, NumPorts: cls.PortCount})
+	}
+	// Improper blockers: two µops, one tied to a proper blocker's
+	// port set.
+	for _, ib := range p.Opts.ImproperBlockers {
+		if _, ok := rep.Info[ib.Key]; !ok {
+			return nil, fmt.Errorf("improper blocker %q was not measured in stage 1", ib.Key)
+		}
+		inst.Uops = append(inst.Uops,
+			smt.UopSpec{Key: ib.Key, NumPorts: 0},
+			smt.UopSpec{Key: ib.Key, TiedToBlocker: true},
+		)
+	}
+	return inst, nil
+}
+
+// finishStage3 stores the blocker mapping, back-fills the inferred
+// port sets into the blocking classes, and exports the solver's
+// learned lemmas for the stage-3 checkpoint.
+func (p *Pipeline) finishStage3(rep *Report, inst *smt.Instance, m *portmodel.Mapping) {
 	rep.BlockerMapping = m
+	p.lemmaRecords = inst.LemmaRecords()
 	for i := range rep.Classes {
 		cls := &rep.Classes[i]
 		if u, ok := m.Get(cls.Rep); ok && len(u) > 0 {

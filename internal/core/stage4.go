@@ -15,6 +15,12 @@ type blockerDesc struct {
 	pu  portmodel.PortSet
 }
 
+// runResult is one characterization run's outcome for one scheme.
+type runResult struct {
+	found map[portmodel.PortSet]int
+	ok    bool
+}
+
 // stage4 characterizes every remaining scheme against the blocking
 // suite without per-port µop counters (§3.1, §4.4): flooding the
 // ports pu with k blocking instructions, the µops of the instruction
@@ -54,17 +60,27 @@ func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 	if runs < 1 {
 		runs = 1
 	}
-	type runResult struct {
-		found map[portmodel.PortSet]int
-		ok    bool
-	}
 	results := make(map[string][]runResult, len(todo))
 
 	for r := 0; r < runs; r++ {
-		if r > 0 {
-			// Fresh measurements for independent runs.
-			p.H.ClearCache()
+		name := fmt.Sprintf("stage4-run%d", r)
+		if p.Opts.Resume {
+			restored, err := p.restoreStage4Run(name, r, todo, results, rep)
+			if err != nil {
+				return err
+			}
+			if restored {
+				p.logf("stage 4: run %d restored from checkpoint", r)
+				continue
+			}
 		}
+		// Each run measures under its own named cache generation (run
+		// 0 shares generation 0 with stages 1–3, runs r>0 get fresh
+		// measurements). Naming generations explicitly — rather than
+		// just clearing the cache — lets a resumed run land in the
+		// same generation, and thus the same persisted measurements,
+		// as the interrupted one.
+		p.H.BeginGeneration(uint64(r))
 		// Prefetch the run's entire scheme×blocker grid — every flood
 		// kernel and every flood+scheme kernel — as one batch. The
 		// grid is computable up front (block counts depend only on
@@ -92,6 +108,9 @@ func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 			if r == 0 && ok {
 				rep.CharWitnesses[key] = witnesses
 			}
+		}
+		if err := p.saveStage4Run(name, r, todo, results, rep); err != nil {
+			return err
 		}
 	}
 

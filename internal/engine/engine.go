@@ -117,6 +117,37 @@ func (e *TransientError) Unwrap() error { return e.Err }
 // Transient wraps err as retryable.
 func Transient(err error) error { return &TransientError{Err: err} }
 
+// PersistHook is the engine's seam to a crash-safe on-disk layer
+// (internal/persist). When Engine.Persist is set, every newly
+// executed result is recorded, batch boundaries are announced (the
+// store fsyncs and compacts there), and generation switches pull the
+// stored results of the new generation to pre-warm the cache.
+//
+// Implementations must be safe for concurrent use: Record is called
+// from worker goroutines.
+type PersistHook interface {
+	// Record persists one newly executed result under its cache
+	// generation and canonical experiment key.
+	Record(gen uint64, key string, r Result)
+	// Generation returns the stored results of one generation, used
+	// to warm the cache when the engine enters it.
+	Generation(gen uint64) map[string]Result
+	// BatchEnd marks the end of a MeasureBatch call — a consistency
+	// point where the store may sync and compact.
+	BatchEnd()
+}
+
+// ExecCountRestorer is an optional Processor extension for crash
+// recovery. Processors that derive measurement noise from a
+// per-kernel execution counter (internal/zensim) implement it so a
+// resumed run can restore those counters from the journal; re-executed
+// experiments then draw exactly the noise an uninterrupted run would
+// have drawn, which is what makes resumed output byte-identical.
+type ExecCountRestorer interface {
+	// RestoreExecCount sets the number of prior executions of kernel.
+	RestoreExecCount(kernel []string, executions uint64)
+}
+
 // IsTransient reports whether err is marked retryable.
 func IsTransient(err error) bool {
 	var te *TransientError
@@ -172,10 +203,19 @@ type Engine struct {
 	// unique experiment of a batch finishes. It is called from
 	// worker goroutines and must be safe for concurrent use.
 	OnProgress func(done, total int)
+	// Persist, if non-nil, receives every newly executed result and
+	// warms the cache across generation switches; see PersistHook.
+	// Set it before the first measurement (persist.Store.Attach does).
+	Persist PersistHook
 
 	mu       sync.Mutex
 	cache    map[string]Result
 	inflight map[string]*call
+	// gen is the cache generation: BeginGeneration/ClearCache bump or
+	// set it, and persisted results are keyed by it so independent
+	// re-measurement rounds (the stage-4 characterization runs) do
+	// not alias in the on-disk cache.
+	gen uint64
 
 	submitted atomic.Uint64
 	completed atomic.Uint64
@@ -346,6 +386,9 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	if g.Persist != nil {
+		g.Persist.BatchEnd()
+	}
 	if firstErr != nil {
 		return results, firstErr
 	}
@@ -400,10 +443,14 @@ func (g *Engine) measureKey(ctx context.Context, key string, e portmodel.Experim
 		c.res, c.err = g.execute(ctx, e)
 		g.mu.Lock()
 		delete(g.inflight, key)
+		gen := g.gen
 		if c.err == nil {
 			g.cache[key] = c.res
 		}
 		g.mu.Unlock()
+		if c.err == nil && g.Persist != nil {
+			g.Persist.Record(gen, key, c.res)
+		}
 		close(c.done)
 		if c.err != nil {
 			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
@@ -439,7 +486,7 @@ func (g *Engine) execute(ctx context.Context, e portmodel.Experiment) (Result, e
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		c, err := g.executeOnce(kernel, iters)
+		c, err := g.executeOnce(ctx, kernel, iters)
 		if err != nil {
 			return Result{}, err
 		}
@@ -480,10 +527,14 @@ func (g *Engine) execute(ctx context.Context, e portmodel.Experiment) (Result, e
 }
 
 // executeOnce issues one kernel run with bounded retry on transient
-// errors.
-func (g *Engine) executeOnce(kernel []string, iters int) (Counters, error) {
+// errors. The retry loop consults ctx between attempts: a canceled
+// batch must not keep re-executing failing kernels up to MaxRetries.
+func (g *Engine) executeOnce(ctx context.Context, kernel []string, iters int) (Counters, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Counters{}, err
+		}
 		c, err := g.P.Execute(kernel, iters)
 		if err == nil {
 			return c, nil
@@ -525,12 +576,65 @@ func (g *Engine) Metrics() Metrics {
 }
 
 // ClearCache drops all cached results (used when re-running the
-// characterization stage with fresh noise, §4.4). Metrics are
-// preserved.
+// characterization stage with fresh noise, §4.4) by advancing to the
+// next cache generation. Metrics are preserved.
 func (g *Engine) ClearCache() {
 	g.mu.Lock()
+	next := g.gen + 1
+	g.mu.Unlock()
+	g.BeginGeneration(next)
+}
+
+// Fingerprint identifies the engine's measurement parameters for the
+// persistence layer. Workers is deliberately excluded: results are
+// byte-identical at any worker count, so a cache written at
+// -parallel 4 is valid at -parallel 16.
+func (g *Engine) Fingerprint() string {
+	return fmt.Sprintf("engine:v1 reps=%d iters=%d eps=%g", g.Reps, g.Iterations, g.Epsilon)
+}
+
+// CacheGeneration returns the current cache generation.
+func (g *Engine) CacheGeneration() uint64 {
+	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.gen
+}
+
+// BeginGeneration enters cache generation n: a no-op when already
+// there (the warm cache is kept), otherwise the in-memory cache is
+// reset and — with a persist hook attached — pre-warmed with the
+// stored results of generation n. The inference pipeline names its
+// stage-4 characterization runs explicitly with this so a resumed run
+// lands in the same generation, and the same on-disk results, as the
+// interrupted one.
+func (g *Engine) BeginGeneration(n uint64) {
+	g.mu.Lock()
+	if n == g.gen {
+		g.mu.Unlock()
+		return
+	}
+	g.gen = n
 	g.cache = make(map[string]Result)
+	g.mu.Unlock()
+	if g.Persist != nil {
+		g.WarmCache(g.Persist.Generation(n))
+	}
+}
+
+// WarmCache merges previously persisted results into the cache.
+// Warmed entries are answered as cache hits; they do not count as
+// executions.
+func (g *Engine) WarmCache(results map[string]Result) {
+	if len(results) == 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for k, r := range results {
+		if r.Runs > 0 {
+			g.cache[k] = r
+		}
+	}
 }
 
 // median returns the median of xs (xs is reordered).

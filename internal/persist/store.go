@@ -1,0 +1,485 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"zenport/internal/engine"
+	"zenport/internal/portmodel"
+)
+
+// File names inside a cache directory.
+const (
+	journalFile  = "journal.zpj"
+	snapshotFile = "snapshot.json"
+	tmpSuffix    = ".tmp"
+)
+
+// compactThreshold is the journal size (bytes) past which a batch
+// boundary triggers compaction into the snapshot.
+const compactThreshold = 256 << 10
+
+// snapshot is the compacted on-disk form of the store: every record
+// of every generation, sorted for stable output, under a checked
+// header.
+type snapshot struct {
+	Header  Header   `json:"header"`
+	Records []Record `json:"records"`
+}
+
+// Store is the crash-safe measurement cache: a snapshot plus an
+// append-only journal inside one cache directory. It implements
+// engine.PersistHook, so attaching it to an engine journals every
+// newly executed result and pre-warms the engine's cache with the
+// results of prior runs under the same fingerprint.
+//
+// Keys are the engine's canonical experiment keys; a generation
+// counter separates independent re-measurement rounds (the stage-4
+// characterization runs). Within one generation every key holds at
+// most one result.
+type Store struct {
+	dir         string
+	fingerprint string
+
+	mu      sync.Mutex
+	journal *os.File
+	// records holds the merged snapshot+journal state: gen -> key ->
+	// result.
+	records map[uint64]map[string]Record
+	// journalBytes tracks the journal size for the compaction
+	// threshold.
+	journalBytes int64
+	// dirty marks journal records not yet compacted into the
+	// snapshot.
+	dirty bool
+	// Log, if non-nil, receives one-line notices (recovered records,
+	// invalidated stale state).
+	Log func(format string, args ...any)
+}
+
+var _ engine.PersistHook = (*Store)(nil)
+
+// Open opens (or creates) the cache directory and recovers its state.
+// A journal or snapshot written under a different fingerprint or a
+// damaged header is invalidated: the store logs the reason and starts
+// fresh, because cached measurements from another configuration are
+// worse than no cache. Torn journal tails are truncated and the valid
+// prefix is kept.
+func Open(dir, fingerprint string) (*Store, error) {
+	if fingerprint == "" {
+		return nil, fmt.Errorf("persist: empty fingerprint")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, fingerprint: fingerprint, records: make(map[uint64]map[string]Record)}
+
+	// Snapshot first: it holds the compacted history.
+	snap, err := readSnapshot(filepath.Join(dir, snapshotFile), fingerprint)
+	switch {
+	case err == nil:
+		for _, r := range snap {
+			s.insert(r)
+		}
+	case isStale(err):
+		s.logf("persist: discarding snapshot: %v", err)
+		if err := os.Remove(filepath.Join(dir, snapshotFile)); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+
+	// Journal on top: records since the last compaction.
+	jpath := filepath.Join(dir, journalFile)
+	rec, err := ReadJournal(jpath, fingerprint)
+	switch {
+	case err == nil:
+		if rec.TornBytes > 0 {
+			s.logf("persist: truncating %d torn journal byte(s) after crash", rec.TornBytes)
+		}
+		for _, r := range rec.Records {
+			s.insert(r)
+		}
+		if len(rec.Records) > 0 {
+			s.dirty = true
+		}
+	case isStale(err):
+		s.logf("persist: discarding journal: %v", err)
+		rec = &RecoveredJournal{}
+		if err := os.Remove(jpath); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+
+	// Open the journal for appending, truncated to its valid prefix
+	// (or freshly created with a header frame).
+	f, err := os.OpenFile(jpath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if rec.GoodSize > 0 {
+		if err := f.Truncate(rec.GoodSize); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(rec.GoodSize, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.journalBytes = rec.GoodSize
+	} else {
+		hdr, err := encodeHeaderFrame(fingerprint)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.journalBytes = int64(len(hdr))
+	}
+	s.journal = f
+	return s, nil
+}
+
+// isStale classifies recovery errors that invalidate (rather than
+// abort on) persisted state.
+func isStale(err error) bool {
+	return errors.Is(err, ErrFingerprintMismatch) || errors.Is(err, ErrCorrupt)
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+// insert merges one record into the in-memory state (last write
+// wins; identical keys within a generation hold identical results by
+// construction).
+func (s *Store) insert(r Record) {
+	g, ok := s.records[r.Gen]
+	if !ok {
+		g = make(map[string]Record)
+		s.records[r.Gen] = g
+	}
+	g[r.Key] = r
+}
+
+// Record implements engine.PersistHook: append the newly executed
+// result to the journal. The write reaches the kernel before Record
+// returns, so a subsequent process death cannot lose it; fsync
+// happens at batch boundaries (and Close) to additionally survive
+// machine crashes.
+func (s *Store) Record(gen uint64, key string, r engine.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := Record{Gen: gen, Key: key, Result: r}
+	s.insert(rec)
+	if s.journal == nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		s.logf("persist: journal encode: %v", err)
+		return
+	}
+	before := s.journalBytes
+	if err := appendFrame(s.journal, payload); err != nil {
+		s.logf("persist: journal append: %v", err)
+		// Roll back to a clean frame boundary so one failed write
+		// does not poison subsequent appends.
+		if terr := s.journal.Truncate(before); terr == nil {
+			_, _ = s.journal.Seek(before, 0)
+		}
+		return
+	}
+	s.journalBytes += int64(frameOverhead + len(payload))
+	s.dirty = true
+}
+
+// Generation implements engine.PersistHook: the stored results of one
+// generation, for cache warm-up.
+func (s *Store) Generation(gen uint64) map[string]engine.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]engine.Result, len(s.records[gen]))
+	for k, r := range s.records[gen] {
+		out[k] = r.Result
+	}
+	return out
+}
+
+// BatchEnd implements engine.PersistHook: a batch boundary. The
+// journal is fsynced, and compacted into the snapshot once it grows
+// past the threshold.
+func (s *Store) BatchEnd() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return
+	}
+	_ = s.journal.Sync()
+	if s.journalBytes >= compactThreshold {
+		if err := s.compactLocked(); err != nil {
+			s.logf("persist: compaction: %v", err)
+		}
+	}
+}
+
+// Compact forces a snapshot write and journal reset.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked writes the full in-memory state into the snapshot
+// atomically (write temp, fsync, rename), then resets the journal to
+// just its header. A crash between the rename and the reset leaves
+// records present in both files; recovery merges them idempotently.
+func (s *Store) compactLocked() error {
+	if !s.dirty {
+		return nil
+	}
+	snap := snapshot{Header: Header{Version: journalVersion, Fingerprint: s.fingerprint}}
+	snap.Records = s.sortedRecordsLocked()
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	sum := fmt.Sprintf("%08x", crc32Sum(data))
+	if err := atomicWrite(filepath.Join(s.dir, snapshotFile), append([]byte(sum+"\n"), data...)); err != nil {
+		return err
+	}
+	if s.journal == nil {
+		s.dirty = false
+		return nil
+	}
+	hdr, err := encodeHeaderFrame(s.fingerprint)
+	if err != nil {
+		return err
+	}
+	if err := s.journal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.journal.Seek(0, 0); err != nil {
+		return err
+	}
+	if _, err := s.journal.Write(hdr); err != nil {
+		return err
+	}
+	if err := s.journal.Sync(); err != nil {
+		return err
+	}
+	s.journalBytes = int64(len(hdr))
+	s.dirty = false
+	return nil
+}
+
+// sortedRecordsLocked flattens the in-memory state in (gen, key)
+// order for stable snapshots.
+func (s *Store) sortedRecordsLocked() []Record {
+	var out []Record
+	var gens []uint64
+	for g := range s.records {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	for _, g := range gens {
+		keys := make([]string, 0, len(s.records[g]))
+		for k := range s.records[g] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, s.records[g][k])
+		}
+	}
+	return out
+}
+
+// Close compacts outstanding journal records into the snapshot and
+// closes the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.compactLocked()
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	s.journal = nil
+	return err
+}
+
+// RecordCount returns the total number of stored results across all
+// generations.
+func (s *Store) RecordCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, g := range s.records {
+		n += len(g)
+	}
+	return n
+}
+
+// Attach wires the store into an engine: future executed results are
+// journaled, the engine's cache is pre-warmed with the stored results
+// of its current generation, and — when the processor supports it —
+// per-kernel execution counts are restored so the noise RNG
+// derivation of re-executed experiments continues exactly where the
+// interrupted process left off (the condition for byte-identical
+// resumed runs).
+func (s *Store) Attach(eng *engine.Engine) error {
+	eng.Persist = s
+	if err := s.restoreExecCounts(eng); err != nil {
+		return err
+	}
+	eng.WarmCache(s.Generation(eng.CacheGeneration()))
+	return nil
+}
+
+// restoreExecCounts tells the processor how many times each journaled
+// kernel was executed by prior runs. Each generation executes a
+// distinct experiment at most once, at Reps processor executions per
+// engine-level execution, so the count is (#generations holding the
+// key) × Reps.
+func (s *Store) restoreExecCounts(eng *engine.Engine) error {
+	rest, ok := eng.P.(engine.ExecCountRestorer)
+	if !ok {
+		return nil
+	}
+	reps := eng.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	s.mu.Lock()
+	counts := make(map[string]uint64)
+	for _, g := range s.records {
+		for key := range g {
+			counts[key]++
+		}
+	}
+	s.mu.Unlock()
+	for key, n := range counts {
+		exp, err := ParseCanonicalKey(key)
+		if err != nil {
+			return fmt.Errorf("persist: stored key %q: %w", key, err)
+		}
+		rest.RestoreExecCount(engine.KernelOf(exp), n*uint64(reps))
+	}
+	return nil
+}
+
+// ParseCanonicalKey inverts engine.CanonicalKey: "2*add|1*imul" back
+// into the experiment multiset. It validates counts and rejects
+// malformed terms instead of guessing.
+func ParseCanonicalKey(key string) (portmodel.Experiment, error) {
+	if key == "" {
+		return nil, fmt.Errorf("empty canonical key")
+	}
+	e := make(portmodel.Experiment)
+	for _, term := range strings.Split(key, "|") {
+		i := strings.Index(term, "*")
+		if i <= 0 || i == len(term)-1 {
+			return nil, fmt.Errorf("malformed term %q", term)
+		}
+		n, err := strconv.Atoi(term[:i])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid count in term %q", term)
+		}
+		e[term[i+1:]] += n
+	}
+	return e, nil
+}
+
+// readSnapshot loads and validates a snapshot file: a CRC line
+// followed by the JSON body, checked against the fingerprint.
+func readSnapshot(path, fingerprint string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl != 8 {
+		return nil, fmt.Errorf("%w: snapshot checksum line malformed", ErrCorrupt)
+	}
+	body := data[nl+1:]
+	if fmt.Sprintf("%08x", crc32Sum(body)) != string(data[:nl]) {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
+	}
+	if snap.Header.Version != journalVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrCorrupt, snap.Header.Version, journalVersion)
+	}
+	if snap.Header.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("%w: snapshot has %q, current configuration is %q",
+			ErrFingerprintMismatch, snap.Header.Fingerprint, fingerprint)
+	}
+	for _, r := range snap.Records {
+		if r.Key == "" {
+			return nil, fmt.Errorf("%w: snapshot record with empty key", ErrCorrupt)
+		}
+	}
+	return snap.Records, nil
+}
+
+func crc32Sum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// atomicWrite writes data to path via a temp file in the same
+// directory: write, fsync, rename — so readers observe either the old
+// or the new content, never a torn mix.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -3,7 +3,6 @@ package portmodel
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 )
 
 // jsonUop is the wire form of a µop: explicit port list instead of a
@@ -31,22 +30,34 @@ func (m *Mapping) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON parses the explicit-port-list form.
+// UnmarshalJSON parses the explicit-port-list form. All indices and
+// counts are validated before any PortSet is built: a corrupt or
+// hand-edited mapping file must yield a descriptive error, never a
+// panic (MakePortSet panics on out-of-range indices by contract).
 func (m *Mapping) UnmarshalJSON(data []byte) error {
 	var in jsonMapping
 	if err := json.Unmarshal(data, &in); err != nil {
 		return err
 	}
 	if in.NumPorts <= 0 || in.NumPorts > MaxPorts {
-		return fmt.Errorf("portmodel: invalid num_ports %d", in.NumPorts)
+		return fmt.Errorf("portmodel: invalid num_ports %d (want 1..%d)", in.NumPorts, MaxPorts)
 	}
 	m.NumPorts = in.NumPorts
 	m.Usage = make(map[string]Usage, len(in.Usage))
 	for key, ju := range in.Usage {
 		u := make(Usage, 0, len(ju))
 		for _, x := range ju {
-			sort.Ints(x.Ports)
-			u = append(u, Uop{Ports: MakePortSet(x.Ports...), Count: x.Count})
+			if x.Count < 0 {
+				return fmt.Errorf("portmodel: scheme %q: negative µop count %d", key, x.Count)
+			}
+			var ps PortSet
+			for _, p := range x.Ports {
+				if p < 0 || p >= in.NumPorts {
+					return fmt.Errorf("portmodel: scheme %q: port index %d out of range [0,%d)", key, p, in.NumPorts)
+				}
+				ps |= 1 << uint(p)
+			}
+			u = append(u, Uop{Ports: ps, Count: x.Count})
 		}
 		m.Usage[key] = u.Normalize()
 	}

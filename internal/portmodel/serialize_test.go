@@ -1,0 +1,94 @@
+package portmodel
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestUnmarshalCorruptInputs feeds hand-damaged mapping JSON through
+// UnmarshalJSON. Every case must produce a descriptive error — never a
+// panic, which is what MakePortSet would do if indices reached it
+// unvalidated.
+func TestUnmarshalCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string // substring of the expected error; "" = valid
+	}{
+		{
+			name: "valid",
+			json: `{"num_ports":4,"usage":{"add":[{"ports":[0,1],"count":1}]}}`,
+		},
+		{
+			name:    "not JSON",
+			json:    `{"num_ports":`,
+			wantErr: "unexpected end",
+		},
+		{
+			name:    "zero num_ports",
+			json:    `{"num_ports":0,"usage":{}}`,
+			wantErr: "invalid num_ports",
+		},
+		{
+			name:    "negative num_ports",
+			json:    `{"num_ports":-3,"usage":{}}`,
+			wantErr: "invalid num_ports",
+		},
+		{
+			name:    "num_ports beyond MaxPorts",
+			json:    `{"num_ports":64,"usage":{}}`,
+			wantErr: "invalid num_ports",
+		},
+		{
+			name:    "port index at num_ports",
+			json:    `{"num_ports":4,"usage":{"add":[{"ports":[4],"count":1}]}}`,
+			wantErr: `scheme "add": port index 4 out of range`,
+		},
+		{
+			name: "port index beyond MaxPorts",
+			// Would panic inside MakePortSet if not validated first.
+			json:    `{"num_ports":4,"usage":{"add":[{"ports":[1000],"count":1}]}}`,
+			wantErr: "port index 1000 out of range",
+		},
+		{
+			name:    "negative port index",
+			json:    `{"num_ports":4,"usage":{"add":[{"ports":[-1],"count":1}]}}`,
+			wantErr: "port index -1 out of range",
+		},
+		{
+			name:    "negative count",
+			json:    `{"num_ports":4,"usage":{"imul":[{"ports":[0],"count":-2}]}}`,
+			wantErr: `scheme "imul": negative µop count -2`,
+		},
+		{
+			name:    "usage wrong type",
+			json:    `{"num_ports":4,"usage":{"add":"two uops"}}`,
+			wantErr: "cannot unmarshal",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("UnmarshalJSON panicked on corrupt input: %v", r)
+				}
+			}()
+			var m Mapping
+			err := json.Unmarshal([]byte(tc.json), &m)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid mapping rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corrupt mapping accepted: %s", tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

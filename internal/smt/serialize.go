@@ -1,0 +1,65 @@
+package smt
+
+import (
+	"fmt"
+
+	"zenport/internal/portmodel"
+)
+
+// LemmaLitRecord is the wire form of one lemma literal.
+type LemmaLitRecord struct {
+	Uop  int  `json:"uop"`
+	Port int  `json:"port"`
+	Neg  bool `json:"neg,omitempty"`
+}
+
+// LemmaRecord is the wire form of one learned theory lemma: the
+// clause literals plus the experiment the lemma was derived from (the
+// lemma is sound only while that experiment stays in the measured
+// set).
+type LemmaRecord struct {
+	Lits []LemmaLitRecord     `json:"lits"`
+	Src  portmodel.Experiment `json:"src"`
+}
+
+// LemmaRecords exports the instance's accumulated theory lemmas for
+// checkpointing. The order is the learning order, which is itself
+// deterministic.
+func (in *Instance) LemmaRecords() []LemmaRecord {
+	out := make([]LemmaRecord, len(in.lemmas))
+	for i, lem := range in.lemmas {
+		lits := make([]LemmaLitRecord, len(lem.lits))
+		for j, l := range lem.lits {
+			lits[j] = LemmaLitRecord{Uop: l.uop, Port: l.port, Neg: l.neg}
+		}
+		out[i] = LemmaRecord{Lits: lits, Src: lem.src.Clone()}
+	}
+	return out
+}
+
+// RestoreLemmas replaces the instance's lemmas with the checkpointed
+// records, after validating every literal against the instance shape:
+// a record with a µop or port index out of range would corrupt the
+// SAT encoding (or panic) on the next solve, so restoring from an
+// untrusted checkpoint must fail with an error instead.
+func (in *Instance) RestoreLemmas(recs []LemmaRecord) error {
+	restored := make([]lemma, 0, len(recs))
+	for i, rec := range recs {
+		if len(rec.Lits) == 0 {
+			return fmt.Errorf("smt: lemma %d: empty clause", i)
+		}
+		lits := make([]lemmaLit, len(rec.Lits))
+		for j, l := range rec.Lits {
+			if l.Uop < 0 || l.Uop >= len(in.Uops) {
+				return fmt.Errorf("smt: lemma %d: µop index %d out of range [0,%d)", i, l.Uop, len(in.Uops))
+			}
+			if l.Port < 0 || l.Port >= in.NumPorts {
+				return fmt.Errorf("smt: lemma %d: port %d out of range [0,%d)", i, l.Port, in.NumPorts)
+			}
+			lits[j] = lemmaLit{uop: l.Uop, port: l.Port, neg: l.Neg}
+		}
+		restored = append(restored, lemma{lits: lits, src: rec.Src.Clone()})
+	}
+	in.lemmas = restored
+	return nil
+}

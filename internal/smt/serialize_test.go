@@ -1,0 +1,159 @@
+package smt
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"zenport/internal/portmodel"
+)
+
+// learnedToyInstance solves the toy setting until lemmas accumulate,
+// so round-trip tests run over genuinely learned clauses rather than
+// hand-built ones. Under the first SAT model, the [iA, iB] pair is
+// modeled at either 1.0 (distinct ports) or 2.0 (shared port), so one
+// of the two measured values must conflict and teach a lemma.
+func learnedToyInstance(t *testing.T) (*Instance, []MeasuredExp) {
+	t.Helper()
+	for _, pairTInv := range []float64{1.0, 2.0} {
+		in := toyInstance()
+		exps := append(toyExps(), MeasuredExp{Exp: portmodel.Exp("iA", "iB"), TInv: pairTInv})
+		if _, err := in.FindMapping(exps); err != nil {
+			t.Fatal(err)
+		}
+		if in.LemmaCount() > 0 {
+			return in, exps
+		}
+	}
+	t.Fatal("no pair measurement conflicted with the first model; solver learned no lemmas")
+	return nil, nil
+}
+
+// TestLemmaRecordsRoundTrip: exporting, JSON-encoding, and restoring
+// lemmas into a structurally identical instance must leave the solver
+// in an equivalent state — same lemma count, same solution.
+func TestLemmaRecordsRoundTrip(t *testing.T) {
+	in, exps := learnedToyInstance(t)
+	want, err := in.FindMapping(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := in.LemmaRecords()
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []LemmaRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		t.Fatal("lemma records changed across JSON")
+	}
+
+	fresh := toyInstance()
+	if err := fresh.RestoreLemmas(back); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.LemmaCount() != in.LemmaCount() {
+		t.Fatalf("restored %d lemmas, want %d", fresh.LemmaCount(), in.LemmaCount())
+	}
+	got, err := fresh.FindMapping(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Isomorphic(want) {
+		t.Fatalf("restored instance solves to a different mapping:\n%v\nvs\n%v", got, want)
+	}
+}
+
+// TestLemmaRecordsAreCopies: mutating an exported record must not
+// reach back into the instance.
+func TestLemmaRecordsAreCopies(t *testing.T) {
+	in, _ := learnedToyInstance(t)
+	recs := in.LemmaRecords()
+	recs[0].Lits[0].Port = 999
+	for k := range recs[0].Src {
+		recs[0].Src[k] = 999
+	}
+	for _, rec := range in.LemmaRecords() {
+		for _, l := range rec.Lits {
+			if l.Port == 999 {
+				t.Fatal("exported record aliases instance state")
+			}
+		}
+		for _, n := range rec.Src {
+			if n == 999 {
+				t.Fatal("exported source experiment aliases instance state")
+			}
+		}
+	}
+}
+
+// TestRestoreLemmasRejectsCorrupt: out-of-range indices or empty
+// clauses from a damaged checkpoint must fail validation instead of
+// corrupting (or crashing) the next solve.
+func TestRestoreLemmasRejectsCorrupt(t *testing.T) {
+	valid := LemmaRecord{
+		Lits: []LemmaLitRecord{{Uop: 0, Port: 1}},
+		Src:  portmodel.Exp("iA"),
+	}
+	cases := []struct {
+		name    string
+		recs    []LemmaRecord
+		wantErr string
+	}{
+		{
+			name:    "empty clause",
+			recs:    []LemmaRecord{{Src: portmodel.Exp("iA")}},
+			wantErr: "empty clause",
+		},
+		{
+			name: "uop index negative",
+			recs: []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: -1, Port: 0}}, Src: portmodel.Exp("iA")}},
+			wantErr: "µop index -1 out of range",
+		},
+		{
+			name: "uop index too large",
+			recs: []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 5, Port: 0}}, Src: portmodel.Exp("iA")}},
+			wantErr: "µop index 5 out of range",
+		},
+		{
+			name: "port negative",
+			recs: []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 0, Port: -2}}, Src: portmodel.Exp("iA")}},
+			wantErr: "port -2 out of range",
+		},
+		{
+			name: "port too large",
+			recs: []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 0, Port: 2}}, Src: portmodel.Exp("iA")}},
+			wantErr: "port 2 out of range",
+		},
+		{
+			name: "bad record after valid one",
+			recs: []LemmaRecord{valid, {Lits: []LemmaLitRecord{{Uop: 0, Port: 99}}, Src: portmodel.Exp("iA")}},
+			wantErr: "lemma 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("RestoreLemmas panicked on corrupt input: %v", r)
+				}
+			}()
+			in := toyInstance()
+			err := in.RestoreLemmas(tc.recs)
+			if err == nil {
+				t.Fatal("corrupt lemma records accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if in.LemmaCount() != 0 {
+				t.Errorf("failed restore left %d lemmas behind", in.LemmaCount())
+			}
+		})
+	}
+}

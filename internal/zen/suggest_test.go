@@ -1,0 +1,65 @@
+package zen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemeByKeyKnown(t *testing.T) {
+	db := Build()
+	for _, key := range db.Keys()[:10] {
+		sp, err := db.SchemeByKey(key)
+		if err != nil {
+			t.Fatalf("SchemeByKey(%q): %v", key, err)
+		}
+		if sp.Scheme.Key() != key {
+			t.Fatalf("SchemeByKey(%q) returned spec for %q", key, sp.Scheme.Key())
+		}
+	}
+}
+
+func TestSchemeByKeySuggestsClose(t *testing.T) {
+	db := Build()
+	// A near-miss of a real key: drop the last character.
+	real := db.Keys()[0]
+	typo := real[:len(real)-1]
+	if _, ok := db.Get(typo); ok {
+		t.Skipf("%q is itself a valid key", typo)
+	}
+	_, err := db.SchemeByKey(typo)
+	if err == nil {
+		t.Fatalf("SchemeByKey(%q) accepted an unknown key", typo)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "did you mean") {
+		t.Fatalf("error %q has no suggestion", msg)
+	}
+	if !strings.Contains(msg, `"`+real+`"`) {
+		t.Errorf("error %q does not suggest the close key %q", msg, real)
+	}
+}
+
+func TestSchemeByKeyNoSuggestionForGarbage(t *testing.T) {
+	db := Build()
+	_, err := db.SchemeByKey("zz")
+	if err == nil {
+		t.Fatal("garbage key accepted")
+	}
+	if !strings.Contains(err.Error(), "-list") {
+		t.Errorf("error %q should point at -list when nothing is close", err)
+	}
+}
+
+func TestSuggestDeterministicAndBounded(t *testing.T) {
+	db := Build()
+	real := db.Keys()[0]
+	typo := real[:len(real)-1]
+	a := db.Suggest(typo, 3)
+	b := db.Suggest(typo, 3)
+	if len(a) > 3 {
+		t.Fatalf("Suggest returned %d candidates, want at most 3", len(a))
+	}
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Fatalf("Suggest is not deterministic: %v vs %v", a, b)
+	}
+}

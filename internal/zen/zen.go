@@ -19,6 +19,7 @@ package zen
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"zenport/internal/isa"
 	"zenport/internal/portmodel"
@@ -124,6 +125,88 @@ func (db *DB) MustGet(key string) *Spec {
 		panic(fmt.Sprintf("zen: unknown scheme %q", key))
 	}
 	return sp
+}
+
+// SchemeByKey returns the spec for a key, or a descriptive error
+// suggesting the closest known keys. CLI paths that accept scheme
+// keys from the user must use this (or Get) instead of MustGet: an
+// unknown key is user input, not a programming error, and deserves a
+// "did you mean" message rather than a stack trace.
+func (db *DB) SchemeByKey(key string) (*Spec, error) {
+	if sp, ok := db.byKey[key]; ok {
+		return sp, nil
+	}
+	sugg := db.Suggest(key, 3)
+	if len(sugg) > 0 {
+		return nil, fmt.Errorf("zen: unknown scheme %q, did you mean %s?", key, strings.Join(sugg, ", "))
+	}
+	return nil, fmt.Errorf("zen: unknown scheme %q (use -list for all %d keys)", key, len(db.specs))
+}
+
+// Suggest returns up to n known scheme keys closest to key by edit
+// distance, preferring keys sharing the mnemonic prefix. Ties break
+// lexicographically so the output is deterministic.
+func (db *DB) Suggest(key string, n int) []string {
+	type cand struct {
+		key  string
+		dist int
+	}
+	mn := strings.SplitN(key, " ", 2)[0]
+	var cands []cand
+	for _, k := range db.Keys() {
+		d := editDistance(key, k)
+		// A shared mnemonic is a much stronger signal than raw
+		// distance over the operand suffix.
+		if strings.SplitN(k, " ", 2)[0] == mn {
+			d -= 10
+		}
+		if d <= len(key)/2 || d < 0 {
+			cands = append(cands, cand{k, d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].key < cands[j].key
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = fmt.Sprintf("%q", c.key)
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, minInt(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Specs returns all specs in deterministic order.

@@ -95,16 +95,22 @@ func NewMachine(db *zen.DB, cfg Config) *Machine {
 	return &Machine{db: db, cfg: cfg, seq: make(map[uint64]uint64)}
 }
 
-// kernelRNG returns the RNG for one execution of kernel, seeded from
-// (cfg.Seed, FNV-64a of the kernel, this kernel's repetition index)
-// mixed through a splitmix64 finalizer.
-func (m *Machine) kernelRNG(kernel []string) *rand.Rand {
+// kernelHash is the FNV-64a identity of a kernel, the key of the
+// per-kernel repetition counter.
+func kernelHash(kernel []string) uint64 {
 	h := fnv.New64a()
 	for _, k := range kernel {
 		_, _ = h.Write([]byte(k))
 		_, _ = h.Write([]byte{0})
 	}
-	kh := h.Sum64()
+	return h.Sum64()
+}
+
+// kernelRNG returns the RNG for one execution of kernel, seeded from
+// (cfg.Seed, FNV-64a of the kernel, this kernel's repetition index)
+// mixed through a splitmix64 finalizer.
+func (m *Machine) kernelRNG(kernel []string) *rand.Rand {
+	kh := kernelHash(kernel)
 	m.mu.Lock()
 	n := m.seq[kh]
 	m.seq[kh] = n + 1
@@ -113,6 +119,32 @@ func (m *Machine) kernelRNG(kernel []string) *rand.Rand {
 	z = splitmix64(z ^ kh)
 	z = splitmix64(z ^ n)
 	return rand.New(rand.NewSource(int64(z)))
+}
+
+// RestoreExecCount fast-forwards kernel's repetition counter to
+// executions, as if the kernel had already run that many times. The
+// persistence layer calls this when warming the cache from a journal:
+// a resumed process starts with zero counters, and without the
+// fast-forward a re-measured kernel would draw the noise of a first
+// execution instead of the noise the interrupted run would have drawn
+// — breaking the byte-identical-resume guarantee. The counter only
+// moves forward; executions already performed in this process are
+// never rewound.
+func (m *Machine) RestoreExecCount(kernel []string, executions uint64) {
+	kh := kernelHash(kernel)
+	m.mu.Lock()
+	if executions > m.seq[kh] {
+		m.seq[kh] = executions
+	}
+	m.mu.Unlock()
+}
+
+// Fingerprint identifies the simulated processor configuration for
+// the persistence layer: results journaled under a different
+// fingerprint come from a different machine and must not be reused.
+func (m *Machine) Fingerprint() string {
+	return fmt.Sprintf("zensim:v1 backend=%d seed=%d noise=%g perport=%t anomalies=%t",
+		m.cfg.Backend, m.cfg.Seed, m.cfg.Noise, m.cfg.PerPortCounters, !m.cfg.DisableAnomalies)
 }
 
 // splitmix64 is the finalizer of the SplitMix64 generator; it

@@ -30,6 +30,7 @@ import (
 	"zenport/internal/engine"
 	"zenport/internal/isa"
 	"zenport/internal/measure"
+	"zenport/internal/persist"
 	"zenport/internal/portmodel"
 	"zenport/internal/smt"
 	"zenport/internal/zen"
@@ -89,6 +90,12 @@ type (
 	// MeasuredExp pairs an experiment with its measured inverse
 	// throughput.
 	MeasuredExp = smt.MeasuredExp
+
+	// CacheStore is the crash-safe on-disk measurement cache
+	// (append-only journal + atomic snapshot) attachable to an Engine.
+	CacheStore = persist.Store
+	// Checkpointer persists pipeline stage outcomes for -resume.
+	Checkpointer = persist.Checkpointer
 )
 
 // MakePortSet builds a PortSet from port indices.
@@ -128,6 +135,28 @@ func NewEngine(p Processor) *Engine { return engine.New(p) }
 
 // DefaultOptions returns the paper's pipeline parameters.
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// RunFingerprint identifies a (machine, engine) measurement
+// configuration for the persistence layer. Persisted measurements and
+// checkpoints written under a different fingerprint are stale and are
+// invalidated rather than reused. The worker count is deliberately
+// not part of the fingerprint: results are byte-identical at every
+// worker count.
+func RunFingerprint(m *Machine, eng *Engine) string {
+	return m.Fingerprint() + "|" + eng.Fingerprint()
+}
+
+// OpenCache opens (or creates) a crash-safe measurement cache
+// directory under the given configuration fingerprint.
+func OpenCache(dir, fingerprint string) (*CacheStore, error) {
+	return persist.Open(dir, fingerprint)
+}
+
+// NewCheckpointer returns a stage checkpointer rooted inside the
+// cache directory.
+func NewCheckpointer(dir, fingerprint string) (*Checkpointer, error) {
+	return persist.NewCheckpointer(dir, fingerprint)
+}
 
 // Infer runs the full four-stage inference pipeline of the paper
 // over the given schemes, measuring through the harness.
