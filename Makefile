@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench clean
+.PHONY: build test vet race soak verify bench clean
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,17 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages under the race detector: the batch
-# engine (worker pool, cache, persist hook) and the pipeline on top of
-# it (kill-and-resume golden tests).
+# engine (worker pool, cache, persist hook), the chaos wrapper, and
+# the pipeline on top of them (kill-and-resume golden tests).
 race:
-	$(GO) test -race -timeout 20m ./internal/engine/... ./internal/core/...
+	$(GO) test -race -timeout 20m ./internal/engine/... ./internal/chaos/... ./internal/core/...
+
+# soak runs the chaos-hardened inference end to end under the race
+# detector: full pipeline under ≈2% transients, hangs, 10× outlier
+# spikes and stuck counters, demanding byte-identity with the
+# fault-free golden run plus kill-and-resume and cancellation legs.
+soak:
+	$(GO) test -race -timeout 20m -run 'TestChaosSoak' -v ./internal/chaos/
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # the full test suite, and pass the race detector on the concurrent

@@ -33,6 +33,9 @@ func main() {
 	intel := flag.Bool("intel", false, "enable Intel-like per-port µop counters")
 	ideal := flag.Bool("ideal", false, "disable the Zen+ anomalies")
 	cacheDir := flag.String("cache-dir", "", "crash-safe measurement cache directory (empty = no persistence)")
+	chaosOn := flag.Bool("chaos", false, "inject deterministic faults (transients, hangs, outliers, stuck counters)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos)")
+	qualitySpread := flag.Float64("quality-spread", 0, "adaptive repetition quality target, robust relative spread (0 = default 0.05)")
 	flag.Parse()
 
 	db := zenport.ZenDB()
@@ -68,10 +71,18 @@ func main() {
 	machine := zenport.NewZenMachine(db, zenport.SimConfig{
 		Noise: n, Seed: *seed, PerPortCounters: *intel, DisableAnomalies: *ideal,
 	})
-	h := zenport.NewHarness(machine)
+	var proc zenport.Processor = machine
+	var fper zenport.Fingerprinter = machine
+	var cp *zenport.ChaosProcessor
+	if *chaosOn {
+		cp = zenport.WrapChaos(machine, *chaosSeed, zenport.DefaultChaosRegime())
+		proc, fper = cp, cp
+	}
+	h := zenport.NewHarness(proc)
 	h.Workers = *parallel
+	h.QualitySpread = *qualitySpread
 	if *cacheDir != "" {
-		store, err := zenport.OpenCache(*cacheDir, zenport.RunFingerprint(machine, h.Engine))
+		store, err := zenport.OpenCache(*cacheDir, zenport.RunFingerprint(fper, h.Engine))
 		if err != nil {
 			log.Fatalf("opening cache: %v", err)
 		}
@@ -92,16 +103,27 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("kernel:            %s\n", e)
-	fmt.Printf("inverse throughput: %.4f cycles/iteration (median of %d)\n", r.InvThroughput, r.Runs)
+	fmt.Printf("inverse throughput: %.4f cycles/iteration (median of %d kept samples, %d runs)\n",
+		r.InvThroughput, r.Quality.Kept, r.Runs)
 	fmt.Printf("CPI:               %.4f\n", r.CPI)
 	fmt.Printf("IPC:               %.4f\n", 1/r.CPI)
 	fmt.Printf("retired ops:       %.2f per iteration (macro-ops on Zen+)\n", r.OpsPerIteration)
-	fmt.Printf("spread:            %.4f\n", r.Spread)
+	fmt.Printf("spread:            %.4f (robust %.4f)\n", r.Spread, r.Quality.Spread)
 	if r.FPPortOps != nil {
 		fmt.Printf("FP pipe µops:      %v\n", fmtVec(r.FPPortOps))
 	}
 	if r.PortOps != nil {
 		fmt.Printf("per-port µops:     %v\n", fmtVec(r.PortOps))
+	}
+	if r.Quality.Rejected > 0 || r.Quality.Quarantined || r.Quality.LowConfidence {
+		fmt.Printf("quality:           kept %d, rejected %d, quarantined %v, low-confidence %v\n",
+			r.Quality.Kept, r.Quality.Rejected, r.Quality.Quarantined, r.Quality.LowConfidence)
+	}
+	m := h.Metrics()
+	fmt.Printf("engine:            %d retries, %d samples rejected, max spread %.4f, mean %.4f, backoff %s\n",
+		m.Retries, m.SamplesRejected, m.MaxSpread, m.MeanSpread, m.BackoffWait)
+	if cp != nil {
+		fmt.Printf("chaos ledger:      %s\n", cp.Ledger())
 	}
 }
 

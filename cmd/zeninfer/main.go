@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	zeninfer [-seed N] [-noise F] [-parallel N] [-timeout D] [-max-schemes N] [-cache-dir DIR] [-resume] [-out mapping.json] [-witnesses]
+//	zeninfer [-seed N] [-noise F] [-parallel N] [-timeout D] [-max-schemes N] [-cache-dir DIR] [-resume] [-chaos] [-chaos-seed N] [-quality-spread F] [-out mapping.json] [-witnesses]
 //
 // Measurements run through the batch engine; -parallel sets the
 // worker-pool size (results are byte-identical for every value) and
@@ -18,6 +18,14 @@
 // on disk and reused by later runs under the same configuration; with
 // -resume, an interrupted run additionally restarts from its last
 // completed pipeline stage and produces byte-identical output.
+//
+// With -chaos, the machine is wrapped in a deterministic seeded
+// fault-injection regime (transient errors, hangs, outlier spikes,
+// stuck counters); the run ends with an injection ledger and a
+// degradation report listing the measurements that stayed
+// low-confidence — no fault class aborts the inference.
+// -quality-spread tunes the adaptive repetition target (default 0.05
+// robust relative spread).
 package main
 
 import (
@@ -41,6 +49,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort inference after this duration (0 = none)")
 	cacheDir := flag.String("cache-dir", "", "crash-safe measurement cache directory (empty = no persistence)")
 	resume := flag.Bool("resume", false, "resume an interrupted run from its checkpoints (requires -cache-dir)")
+	chaosOn := flag.Bool("chaos", false, "inject deterministic faults (transients, hangs, outliers, stuck counters)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos)")
+	qualitySpread := flag.Float64("quality-spread", 0, "adaptive repetition quality target, robust relative spread (0 = default 0.05)")
 	out := flag.String("out", "", "write the final mapping to this JSON file")
 	witnesses := flag.Bool("witnesses", false, "print the CEGAR witness experiments")
 	quiet := flag.Bool("q", false, "suppress progress logging")
@@ -56,8 +67,16 @@ func main() {
 		n = -1
 	}
 	machine := zenport.NewZenMachine(db, zenport.SimConfig{Noise: n, Seed: *seed})
-	h := zenport.NewHarness(machine)
+	var proc zenport.Processor = machine
+	var fper zenport.Fingerprinter = machine
+	var cp *zenport.ChaosProcessor
+	if *chaosOn {
+		cp = zenport.WrapChaos(machine, *chaosSeed, zenport.DefaultChaosRegime())
+		proc, fper = cp, cp
+	}
+	h := zenport.NewHarness(proc)
 	h.Workers = *parallel
+	h.QualitySpread = *qualitySpread
 
 	schemes := zenport.ZenSchemes(db)
 	if *maxSchemes > 0 && *maxSchemes < len(schemes) {
@@ -70,7 +89,7 @@ func main() {
 	}
 
 	if *cacheDir != "" {
-		fp := zenport.RunFingerprint(machine, h.Engine)
+		fp := zenport.RunFingerprint(fper, h.Engine)
 		store, err := zenport.OpenCache(*cacheDir, fp)
 		if err != nil {
 			log.Fatalf("opening cache: %v", err)
@@ -109,10 +128,17 @@ func main() {
 	if *witnesses {
 		printWitnesses(rep)
 	}
+	printDegraded(rep)
 	m := h.Metrics()
 	fmt.Printf("\ntotal distinct measurements: %d\n", h.MeasurementCount())
 	fmt.Printf("engine: %d submitted, %d cache hits, %d coalesced, %d retries, batch wall %s\n",
 		m.Submitted, m.CacheHits, m.Coalesced, m.Retries, m.BatchWall.Round(time.Millisecond))
+	fmt.Printf("quality: %d/%d samples kept/rejected, %d quarantined, max spread %.4f, mean %.4f, backoff %s\n",
+		m.SamplesKept, m.SamplesRejected, m.Quarantined, m.MaxSpread, m.MeanSpread,
+		m.BackoffWait.Round(time.Microsecond))
+	if cp != nil {
+		fmt.Printf("chaos:  injection ledger: %s\n", cp.Ledger())
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rep.Final, "", "  ")
@@ -175,4 +201,20 @@ func printWitnesses(rep *zenport.Report) {
 	for _, w := range rep.CEGARWitnesses {
 		fmt.Printf("  %-40s t=%6.3f  %s\n", w.Exp, w.TInv, w.Claim)
 	}
+}
+
+// printDegraded is the graceful-degradation report: instead of dying
+// on bad measurements, the pipeline lists the ones that stayed
+// low-confidence after adaptive escalation and quarantine.
+func printDegraded(rep *zenport.Report) {
+	if len(rep.Degraded) == 0 {
+		return
+	}
+	fmt.Printf("\n== Degraded measurements (proceeded with reduced confidence)\n")
+	for _, d := range rep.Degraded {
+		fmt.Printf("  %-42s spread %.4f (kept %d, rejected %d)\n",
+			d.Key, d.Quality.Spread, d.Quality.Kept, d.Quality.Rejected)
+	}
+	fmt.Printf("inference completed despite %d low-confidence measurement(s); treat the facts they support with suspicion\n",
+		len(rep.Degraded))
 }

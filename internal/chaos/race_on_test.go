@@ -1,0 +1,8 @@
+//go:build race
+
+package chaos_test
+
+// raceEnabled trims the soak test's worker sweep under the race
+// detector, whose ~10× slowdown would otherwise push the package past
+// the test timeout without adding coverage.
+const raceEnabled = true

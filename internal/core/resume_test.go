@@ -92,12 +92,13 @@ func TestPipelineKillAndResume(t *testing.T) {
 		t.Fatal("reference run executed nothing")
 	}
 
-	// crashProc counts raw processor calls: Reps per engine-level
-	// experiment. The stage-4 characterization grids dominate the
-	// execution count (3 runs, each re-measuring the scheme×blocker
-	// grid), so failing at 85% of the reference volume lands inside
-	// stage 4.
-	crashAt := int64(refExec) * int64(ref.H.Reps) * 85 / 100
+	// crashProc counts raw processor calls, so the injection point is
+	// set from the reference run's own ProcessorCalls metric (adaptive
+	// escalation makes the per-experiment call count variable). The
+	// stage-4 characterization grids dominate the execution count
+	// (3 runs, each re-measuring the scheme×blocker grid), so failing
+	// at 85% of the reference volume lands inside stage 4.
+	crashAt := int64(ref.H.Metrics().ProcessorCalls) * 85 / 100
 
 	workerSweep := []int{1, 4, 16}
 	if raceEnabled {
@@ -166,10 +167,8 @@ func TestPipelineResumeAfterEarlyCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refExec := ref.H.Metrics().Executed
-
 	dir := t.TempDir()
-	crashed, _ := newPersistedPipeline(t, dir, schemes, 4, int64(refExec)*int64(ref.H.Reps)/5, false)
+	crashed, _ := newPersistedPipeline(t, dir, schemes, 4, int64(ref.H.Metrics().ProcessorCalls)/5, false)
 	if _, err := crashed.Run(); !errors.Is(err, errCrashed) {
 		t.Fatalf("interrupted run: err = %v, want simulated crash", err)
 	}

@@ -32,6 +32,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"zenport/internal/portmodel"
+	"zenport/internal/stats"
 )
 
 // Counters are the raw performance-counter readings of one kernel
@@ -81,25 +84,58 @@ type Processor interface {
 // partial-result signal after a cancelled batch.
 type Result struct {
 	// InvThroughput is the median inverse throughput in cycles per
-	// experiment iteration.
+	// experiment iteration, over the samples that survived outlier
+	// rejection.
 	InvThroughput float64
 	// CPI is InvThroughput divided by the number of instructions.
 	CPI float64
 	// OpsPerIteration is the median op-counter reading per
 	// iteration (macro-ops on Zen+).
 	OpsPerIteration float64
-	// Spread is the relative spread (max−min)/median of the inverse
-	// throughput across the repetitions. Bimodal measurements — the
-	// unstable instructions of §4.1.2/§4.2 — show a large spread
-	// that the median alone would hide.
+	// Spread is the raw relative spread (max−min)/median of the
+	// inverse throughput across the surviving samples. Bimodal
+	// measurements — the unstable instructions of §4.1.2/§4.2 — show
+	// a large spread that the median alone would hide; the outlier
+	// rejection deliberately keeps such modes (they sit far inside
+	// the rejection window), so this signal survives it.
 	Spread float64
 	// PortOps is the median per-port µop count per iteration (nil
 	// without per-port counters).
 	PortOps []float64
 	// FPPortOps is the median per-FP-pipe µop count per iteration.
 	FPPortOps []float64
-	// Runs is the number of repetitions aggregated.
+	// Runs is the total number of successful processor executions
+	// behind this result, including rejected samples. The persistence
+	// layer restores per-kernel execution counters from it, so it
+	// must count executions (RNG draws), not surviving samples.
 	Runs int
+	// Quality describes how trustworthy the result is.
+	Quality Quality
+}
+
+// Quality is the confidence record of one measurement: how many
+// samples the adaptive collection kept and rejected, how concentrated
+// the survivors are, and whether the engine gave up on reaching its
+// quality target. Low-confidence results are flagged, never fatal —
+// the pipeline proceeds with them and reports them as degraded.
+type Quality struct {
+	// Kept is the number of samples that survived outlier rejection
+	// and fed the medians.
+	Kept int
+	// Rejected is the number of samples discarded as outliers.
+	Rejected int
+	// Spread is the robust relative spread (IQR/median) of the kept
+	// samples — the quantity the escalation loop drives under the
+	// quality threshold.
+	Spread float64
+	// Quarantined records that the measurement missed the quality
+	// target at the repetition cap and earned one extra re-measured
+	// batch.
+	Quarantined bool
+	// LowConfidence marks a measurement that still missed the quality
+	// target after quarantine. Consumers should treat the value as
+	// usable but degraded.
+	LowConfidence bool
 }
 
 // TransientError marks an Execute failure as retryable: the engine
@@ -135,6 +171,16 @@ type PersistHook interface {
 	// BatchEnd marks the end of a MeasureBatch call — a consistency
 	// point where the store may sync and compact.
 	BatchEnd()
+}
+
+// ContextProcessor is an optional Processor extension for machines
+// whose executions can block (real hardware wedging, injected hangs):
+// the engine prefers ExecuteContext when available, so a cancelled
+// context interrupts the execution itself rather than only the gaps
+// between executions.
+type ContextProcessor interface {
+	// ExecuteContext is Execute observing ctx while it runs.
+	ExecuteContext(ctx context.Context, kernel []string, iterations int) (Counters, error)
 }
 
 // ExecCountRestorer is an optional Processor extension for crash
@@ -178,6 +224,27 @@ type Metrics struct {
 	// BatchWall is the cumulative wall-clock time spent inside
 	// MeasureBatch.
 	BatchWall time.Duration
+	// ProcessorCalls counts individual processor execution attempts,
+	// including retried failures and adaptive escalation — the raw
+	// measurement volume behind Executed.
+	ProcessorCalls uint64
+	// SamplesKept / SamplesRejected total the per-result Quality
+	// sample accounting across all executed experiments.
+	SamplesKept     uint64
+	SamplesRejected uint64
+	// Quarantined counts measurements that missed the quality target
+	// at the repetition cap and were re-measured once.
+	Quarantined uint64
+	// LowConfidence counts executed measurements still flagged after
+	// quarantine.
+	LowConfidence uint64
+	// MaxSpread / MeanSpread aggregate Result.Spread over executed
+	// experiments (mean is over executions; 0 when nothing ran).
+	MaxSpread  float64
+	MeanSpread float64
+	// BackoffWait is the cumulative time spent sleeping between
+	// transient-error retries.
+	BackoffWait time.Duration
 }
 
 // Engine executes measurement batches over a worker pool with a
@@ -199,6 +266,24 @@ type Engine struct {
 	Workers int
 	// MaxRetries bounds re-executions after transient errors.
 	MaxRetries int
+	// QualitySpread is the robust-spread (IQR/median) target of the
+	// adaptive repetition loop: collection escalates past Reps while
+	// the surviving samples spread wider than this (0 means the 0.05
+	// default). It changes measured results, so it is part of the
+	// fingerprint.
+	QualitySpread float64
+	// MaxReps caps the adaptive escalation (0 means 3×Reps). A
+	// measurement still missing the quality target at the cap is
+	// quarantined — granted one extra batch of Reps samples — and
+	// then flagged low-confidence rather than failed.
+	MaxReps int
+	// BackoffBase is the first retry delay after a transient error;
+	// subsequent attempts double it up to BackoffMax, with
+	// deterministic per-kernel jitter. 0 means 100µs; negative
+	// disables backoff. The sleep observes ctx.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff delay (0 means 10ms).
+	BackoffMax time.Duration
 	// OnProgress, if non-nil, receives (completed, total) after each
 	// unique experiment of a batch finishes. It is called from
 	// worker goroutines and must be safe for concurrent use.
@@ -216,15 +301,28 @@ type Engine struct {
 	// re-measurement rounds (the stage-4 characterization runs) do
 	// not alias in the on-disk cache.
 	gen uint64
+	// lowConf registers every low-confidence result seen over the
+	// engine's lifetime (executed or warmed from the cache), keyed by
+	// canonical key — the source of the pipeline's degradation
+	// report. Generations do not clear it; worst spread wins.
+	lowConf map[string]Quality
 
-	submitted atomic.Uint64
-	completed atomic.Uint64
-	executed  atomic.Uint64
-	cacheHits atomic.Uint64
-	coalesced atomic.Uint64
-	retries   atomic.Uint64
-	canceled  atomic.Uint64
-	wallNanos atomic.Int64
+	submitted   atomic.Uint64
+	completed   atomic.Uint64
+	executed    atomic.Uint64
+	cacheHits   atomic.Uint64
+	coalesced   atomic.Uint64
+	retries     atomic.Uint64
+	canceled    atomic.Uint64
+	wallNanos   atomic.Int64
+	procCalls   atomic.Uint64
+	kept        atomic.Uint64
+	rejected    atomic.Uint64
+	quarantined atomic.Uint64
+	lowConfN    atomic.Uint64
+	maxSpread   atomic.Uint64 // float64 bits, CAS-maxed
+	spreadSum   atomic.Uint64 // float64 bits, CAS-added
+	backoffNano atomic.Int64
 }
 
 // call is one in-flight execution other submitters can wait on.
@@ -236,12 +334,16 @@ type call struct {
 
 // New returns an engine with the paper's measurement parameters: 11
 // repetitions, 100 iterations per run, ε = 0.02 CPI, GOMAXPROCS
-// workers, and up to 2 retries on transient errors.
+// workers, up to 2 retries on transient errors, a 5% robust-spread
+// quality target with escalation capped at 3×Reps, and 100µs–10ms
+// retry backoff.
 func New(p Processor) *Engine {
 	return &Engine{
 		P: p, Reps: 11, Iterations: 100, Epsilon: 0.02, MaxRetries: 2,
-		cache:    make(map[string]Result),
-		inflight: make(map[string]*call),
+		QualitySpread: 0.05,
+		cache:         make(map[string]Result),
+		inflight:      make(map[string]*call),
+		lowConf:       make(map[string]Quality),
 	}
 }
 
@@ -446,6 +548,9 @@ func (g *Engine) measureKey(ctx context.Context, key string, e portmodel.Experim
 		gen := g.gen
 		if c.err == nil {
 			g.cache[key] = c.res
+			if c.res.Quality.LowConfidence {
+				g.noteLowConfLocked(key, c.res.Quality)
+			}
 		}
 		g.mu.Unlock()
 		if c.err == nil && g.Persist != nil {
@@ -464,11 +569,39 @@ func (g *Engine) measureKey(ctx context.Context, key string, e portmodel.Experim
 	}
 }
 
-// execute runs the experiment Reps times and aggregates the median
-// result, checking ctx between repetitions.
+// Outlier-rejection gates of the adaptive collection: a sample is an
+// outlier when it sits more than rejectKMAD robust standard deviations
+// AND more than rejectMinRel × median away from the median (the
+// threshold is the max of the two distances). The wide relative floor
+// is deliberate: the bimodal instabilities of §4.1.2/§4.2 place their
+// modes well within 3× of the median and must survive rejection at
+// any mode split — they are a signal the spread-based exclusion
+// stages consume — while corrupted samples (a 10× latency spike) sit
+// far outside it.
+const (
+	rejectKMAD   = 3.5
+	rejectMinRel = 3.0
+)
+
+// sample is the per-iteration reading of one successful execution.
+type sample struct {
+	cyc, ops float64
+	port, fp []float64
+}
+
+// execute runs the experiment adaptively: an initial batch of Reps
+// samples, MAD-based outlier rejection, then escalating repetitions
+// (up to MaxReps, plus one quarantine batch) until the robust spread
+// of the surviving samples falls under QualitySpread. Measurements
+// that never get there are flagged low-confidence, not failed. ctx is
+// checked between repetitions.
+//
+// Every decision in this loop — rejection, escalation, quarantine —
+// depends only on the samples of this kernel, which themselves depend
+// only on (kernel, per-kernel execution index). Adaptive repetition
+// therefore preserves the engine's worker-count invariance.
 func (g *Engine) execute(ctx context.Context, e portmodel.Experiment) (Result, error) {
 	kernel := KernelOf(e)
-	n := len(kernel)
 	reps := g.Reps
 	if reps < 1 {
 		reps = 1
@@ -477,42 +610,100 @@ func (g *Engine) execute(ctx context.Context, e portmodel.Experiment) (Result, e
 	if iters < 1 {
 		iters = 100
 	}
+	maxReps := g.MaxReps
+	if maxReps < 1 {
+		maxReps = 3 * reps
+	}
+	if maxReps < reps {
+		maxReps = reps
+	}
+	qspread := g.QualitySpread
+	if qspread == 0 {
+		qspread = 0.05
+	}
 
-	cyc := make([]float64, 0, reps)
-	ops := make([]float64, 0, reps)
-	var portOps [][]float64
-	var fpOps [][]float64
-	for r := 0; r < reps; r++ {
-		if err := ctx.Err(); err != nil {
-			return Result{}, err
-		}
-		c, err := g.executeOnce(ctx, kernel, iters)
-		if err != nil {
-			return Result{}, err
-		}
-		cyc = append(cyc, c.Cycles/float64(iters))
-		ops = append(ops, float64(c.Ops)/float64(iters))
-		if c.PortOps != nil {
-			po := make([]float64, len(c.PortOps))
-			for k := range po {
-				po[k] = c.PortOps[k] / float64(iters)
+	var ss []sample
+	collect := func(k int) error {
+		for i := 0; i < k; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			portOps = append(portOps, po)
-		}
-		if c.FPPortOps != nil {
-			fo := make([]float64, len(c.FPPortOps))
-			for k := range fo {
-				fo[k] = c.FPPortOps[k] / float64(iters)
+			c, err := g.executeOnce(ctx, kernel, iters)
+			if err != nil {
+				return err
 			}
-			fpOps = append(fpOps, fo)
+			s := sample{cyc: c.Cycles / float64(iters), ops: float64(c.Ops) / float64(iters)}
+			if c.PortOps != nil {
+				s.port = scaled(c.PortOps, iters)
+			}
+			if c.FPPortOps != nil {
+				s.fp = scaled(c.FPPortOps, iters)
+			}
+			ss = append(ss, s)
+		}
+		return nil
+	}
+	if err := collect(reps); err != nil {
+		return Result{}, err
+	}
+
+	budget := maxReps
+	var keep []bool
+	var q Quality
+	for {
+		cyc := make([]float64, len(ss))
+		for i, s := range ss {
+			cyc[i] = s.cyc
+		}
+		var rej int
+		keep, rej = stats.RejectOutliers(cyc, rejectKMAD, rejectMinRel)
+		kept := masked(cyc, keep)
+		q = Quality{Kept: len(kept), Rejected: rej, Spread: stats.RobustSpread(kept), Quarantined: q.Quarantined}
+		if q.Spread <= qspread {
+			break
+		}
+		if len(ss) < budget {
+			step := reps
+			if len(ss)+step > budget {
+				step = budget - len(ss)
+			}
+			if err := collect(step); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+		if !q.Quarantined {
+			// Quality target missed at the cap: quarantine the
+			// measurement and re-measure once (one more batch pooled
+			// with what we have) before giving up on the target.
+			q.Quarantined = true
+			g.quarantined.Add(1)
+			budget += reps
+			continue
+		}
+		q.LowConfidence = true
+		break
+	}
+
+	res := Result{Runs: len(ss), Quality: q}
+	var cyc, ops []float64
+	var portOps, fpOps [][]float64
+	for i, s := range ss {
+		if !keep[i] {
+			continue
+		}
+		cyc = append(cyc, s.cyc)
+		ops = append(ops, s.ops)
+		if s.port != nil {
+			portOps = append(portOps, s.port)
+		}
+		if s.fp != nil {
+			fpOps = append(fpOps, s.fp)
 		}
 	}
-	res := Result{
-		InvThroughput:   median(cyc),
-		OpsPerIteration: median(ops),
-		Runs:            reps,
-	}
-	res.CPI = res.InvThroughput / float64(n)
+	res.InvThroughput = median(cyc)
+	res.OpsPerIteration = median(ops)
+	res.CPI = res.InvThroughput / float64(len(kernel))
 	if res.InvThroughput > 0 {
 		lo, hi := cyc[0], cyc[len(cyc)-1] // median() sorted cyc
 		res.Spread = (hi - lo) / res.InvThroughput
@@ -523,19 +714,78 @@ func (g *Engine) execute(ctx context.Context, e portmodel.Experiment) (Result, e
 	if len(fpOps) > 0 {
 		res.FPPortOps = medianVec(fpOps)
 	}
+
+	g.kept.Add(uint64(q.Kept))
+	g.rejected.Add(uint64(q.Rejected))
+	if q.LowConfidence {
+		g.lowConfN.Add(1)
+	}
+	g.recordSpread(res.Spread)
 	return res, nil
 }
 
+// scaled divides a counter vector by the iteration count.
+func scaled(v []float64, iters int) []float64 {
+	out := make([]float64, len(v))
+	for k := range v {
+		out[k] = v[k] / float64(iters)
+	}
+	return out
+}
+
+// masked returns the kept elements of xs.
+func masked(xs []float64, keep []bool) []float64 {
+	out := make([]float64, 0, len(xs))
+	for i, x := range xs {
+		if keep[i] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// recordSpread folds one result spread into the max/mean aggregates
+// with lock-free CAS loops (Record is called from worker goroutines).
+func (g *Engine) recordSpread(s float64) {
+	for {
+		old := g.maxSpread.Load()
+		if s <= math.Float64frombits(old) {
+			break
+		}
+		if g.maxSpread.CompareAndSwap(old, math.Float64bits(s)) {
+			break
+		}
+	}
+	for {
+		old := g.spreadSum.Load()
+		if g.spreadSum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+s)) {
+			break
+		}
+	}
+}
+
 // executeOnce issues one kernel run with bounded retry on transient
-// errors. The retry loop consults ctx between attempts: a canceled
-// batch must not keep re-executing failing kernels up to MaxRetries.
+// errors, sleeping an exponentially growing, deterministically
+// jittered delay between attempts. The retry loop and the sleep both
+// consult ctx: a canceled batch must not keep re-executing failing
+// kernels up to MaxRetries, nor finish a backoff sleep. Processors
+// implementing ContextProcessor are additionally interruptible inside
+// the execution itself.
 func (g *Engine) executeOnce(ctx context.Context, kernel []string, iters int) (Counters, error) {
+	cp, hasCtx := g.P.(ContextProcessor)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return Counters{}, err
 		}
-		c, err := g.P.Execute(kernel, iters)
+		g.procCalls.Add(1)
+		var c Counters
+		var err error
+		if hasCtx {
+			c, err = cp.ExecuteContext(ctx, kernel, iters)
+		} else {
+			c, err = g.P.Execute(kernel, iters)
+		}
 		if err == nil {
 			return c, nil
 		}
@@ -544,7 +794,63 @@ func (g *Engine) executeOnce(ctx context.Context, kernel []string, iters int) (C
 			return Counters{}, lastErr
 		}
 		g.retries.Add(1)
+		if err := g.backoff(ctx, kernel, attempt); err != nil {
+			return Counters{}, err
+		}
 	}
+}
+
+// backoff sleeps before retry number attempt+1: BackoffBase doubled
+// per attempt, capped at BackoffMax, jittered into [d/2, d] by a
+// deterministic hash of (kernel, attempt) — reruns back off
+// identically, while concurrently failing kernels decorrelate. The
+// sleep observes ctx and its cost lands in Metrics.BackoffWait.
+func (g *Engine) backoff(ctx context.Context, kernel []string, attempt int) error {
+	base := g.BackoffBase
+	if base < 0 {
+		return nil
+	}
+	if base == 0 {
+		base = 100 * time.Microsecond
+	}
+	maxd := g.BackoffMax
+	if maxd <= 0 {
+		maxd = 10 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > maxd {
+		d = maxd
+	}
+	h := fnv.New64a()
+	for _, k := range kernel {
+		_, _ = h.Write([]byte(k))
+		_, _ = h.Write([]byte{0})
+	}
+	z := splitmix64(h.Sum64() ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15)
+	wait := d/2 + time.Duration(z%uint64(d/2+1))
+	start := time.Now()
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		g.backoffNano.Add(int64(time.Since(start)))
+		return ctx.Err()
+	case <-t.C:
+		g.backoffNano.Add(int64(wait))
+		return nil
+	}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator, used to
+// scatter the structured backoff-jitter inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // workerCount resolves the configured pool size.
@@ -563,15 +869,52 @@ func (g *Engine) MeasurementCount() int {
 
 // Metrics returns a snapshot of the engine's counters.
 func (g *Engine) Metrics() Metrics {
-	return Metrics{
-		Submitted: g.submitted.Load(),
-		Completed: g.completed.Load(),
-		Executed:  g.executed.Load(),
-		CacheHits: g.cacheHits.Load(),
-		Coalesced: g.coalesced.Load(),
-		Retries:   g.retries.Load(),
-		Canceled:  g.canceled.Load(),
-		BatchWall: time.Duration(g.wallNanos.Load()),
+	m := Metrics{
+		Submitted:       g.submitted.Load(),
+		Completed:       g.completed.Load(),
+		Executed:        g.executed.Load(),
+		CacheHits:       g.cacheHits.Load(),
+		Coalesced:       g.coalesced.Load(),
+		Retries:         g.retries.Load(),
+		Canceled:        g.canceled.Load(),
+		BatchWall:       time.Duration(g.wallNanos.Load()),
+		ProcessorCalls:  g.procCalls.Load(),
+		SamplesKept:     g.kept.Load(),
+		SamplesRejected: g.rejected.Load(),
+		Quarantined:     g.quarantined.Load(),
+		LowConfidence:   g.lowConfN.Load(),
+		MaxSpread:       math.Float64frombits(g.maxSpread.Load()),
+		BackoffWait:     time.Duration(g.backoffNano.Load()),
+	}
+	if m.Executed > 0 {
+		m.MeanSpread = math.Float64frombits(g.spreadSum.Load()) / float64(m.Executed)
+	}
+	return m
+}
+
+// LowConfidence returns every low-confidence measurement the engine
+// has seen (executed in this process or warmed from the persisted
+// cache), keyed by canonical experiment key. The pipeline turns this
+// into its degradation report.
+func (g *Engine) LowConfidence() map[string]Quality {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]Quality, len(g.lowConf))
+	for k, q := range g.lowConf {
+		out[k] = q
+	}
+	return out
+}
+
+// noteLowConfLocked registers a flagged measurement. Worst spread
+// wins, so the merged registry is independent of the order in which
+// generations and workers encounter the key.
+func (g *Engine) noteLowConfLocked(key string, q Quality) {
+	if g.lowConf == nil {
+		g.lowConf = make(map[string]Quality)
+	}
+	if old, ok := g.lowConf[key]; !ok || q.Spread > old.Spread {
+		g.lowConf[key] = q
 	}
 }
 
@@ -588,9 +931,19 @@ func (g *Engine) ClearCache() {
 // Fingerprint identifies the engine's measurement parameters for the
 // persistence layer. Workers is deliberately excluded: results are
 // byte-identical at any worker count, so a cache written at
-// -parallel 4 is valid at -parallel 16.
+// -parallel 4 is valid at -parallel 16. The adaptive-quality knobs
+// are included because they change which samples feed the medians.
 func (g *Engine) Fingerprint() string {
-	return fmt.Sprintf("engine:v1 reps=%d iters=%d eps=%g", g.Reps, g.Iterations, g.Epsilon)
+	qspread := g.QualitySpread
+	if qspread == 0 {
+		qspread = 0.05
+	}
+	maxReps := g.MaxReps
+	if maxReps < 1 {
+		maxReps = 3 * g.Reps
+	}
+	return fmt.Sprintf("engine:v2 reps=%d iters=%d eps=%g qspread=%g maxreps=%d",
+		g.Reps, g.Iterations, g.Epsilon, qspread, maxReps)
 }
 
 // CacheGeneration returns the current cache generation.
@@ -623,7 +976,9 @@ func (g *Engine) BeginGeneration(n uint64) {
 
 // WarmCache merges previously persisted results into the cache.
 // Warmed entries are answered as cache hits; they do not count as
-// executions.
+// executions. Flagged results re-enter the low-confidence registry,
+// so a resumed run's degradation report covers the work of the
+// interrupted one.
 func (g *Engine) WarmCache(results map[string]Result) {
 	if len(results) == 0 {
 		return
@@ -633,6 +988,9 @@ func (g *Engine) WarmCache(results map[string]Result) {
 	for k, r := range results {
 		if r.Runs > 0 {
 			g.cache[k] = r
+			if r.Quality.LowConfidence {
+				g.noteLowConfLocked(k, r.Quality)
+			}
 		}
 	}
 }

@@ -32,6 +32,14 @@ type Processor = engine.Processor
 // engine.Result.
 type Result = engine.Result
 
+// Quality is the confidence record of one measurement; see
+// engine.Quality.
+type Quality = engine.Quality
+
+// ContextProcessor is the optional cancellable-execution extension of
+// Processor; see engine.ContextProcessor.
+type ContextProcessor = engine.ContextProcessor
+
 // Harness runs measurements with repetition and caching. It embeds
 // the batch engine, so engine configuration (P, Reps, Iterations,
 // Epsilon, Workers) and batch methods (MeasureBatch, Metrics,

@@ -1,0 +1,102 @@
+package persist
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"zenport/internal/engine"
+)
+
+// restoreRecorder is a minimal processor that records the execution
+// counts the store restores per kernel.
+type restoreRecorder struct {
+	mu       sync.Mutex
+	restored map[string]uint64
+}
+
+func newRestoreRecorder() *restoreRecorder {
+	return &restoreRecorder{restored: make(map[string]uint64)}
+}
+
+func (r *restoreRecorder) Execute(kernel []string, iterations int) (engine.Counters, error) {
+	return engine.Counters{Cycles: float64(iterations), Instructions: uint64(iterations), Ops: uint64(iterations)}, nil
+}
+
+func (r *restoreRecorder) NumPorts() int { return 4 }
+func (r *restoreRecorder) Rmax() float64 { return 5 }
+
+func (r *restoreRecorder) RestoreExecCount(kernel []string, executions uint64) {
+	r.mu.Lock()
+	r.restored[strings.Join(kernel, " ")] = executions
+	r.mu.Unlock()
+}
+
+// TestLegacyRecordsGetQualityDefaults: journals written before the
+// quality field existed must decode as fully-kept, full-confidence
+// results — the semantics the fixed-Reps engine that wrote them had.
+func TestLegacyRecordsGetQualityDefaults(t *testing.T) {
+	dir := t.TempDir()
+	legacy := Record{Gen: 0, Key: "1*add", Result: engine.Result{
+		InvThroughput: 0.25, CPI: 0.25, OpsPerIteration: 1, Runs: 11, Spread: 0.03,
+	}}
+	writeJournal(t, filepath.Join(dir, journalFile), testFP, legacy)
+
+	s, err := Open(dir, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, ok := s.Generation(0)["1*add"]
+	if !ok {
+		t.Fatal("legacy record not recovered")
+	}
+	q := res.Quality
+	if q.Kept != 11 || q.Rejected != 0 {
+		t.Errorf("Kept/Rejected = %d/%d, want 11/0", q.Kept, q.Rejected)
+	}
+	if q.Spread != 0.03 {
+		t.Errorf("Quality.Spread = %v, want the record's raw spread 0.03", q.Spread)
+	}
+	if q.LowConfidence || q.Quarantined {
+		t.Errorf("legacy record flagged low-confidence: %+v", q)
+	}
+}
+
+// TestRestoreExecCountsSumsRuns: the restored per-kernel execution
+// count must be the sum of Result.Runs across generations — the
+// adaptive engine escalates past Reps, so a fixed gens×Reps count
+// would desynchronize resumed noise and fault streams. Records
+// without Runs accounting fall back to Reps.
+func TestRestoreExecCountsSumsRuns(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Record(0, "1*add", engine.Result{InvThroughput: 0.25, Runs: 11, Quality: engine.Quality{Kept: 11}})
+	s.Record(1, "1*add", engine.Result{InvThroughput: 0.25, Runs: 33, Quality: engine.Quality{Kept: 30, Rejected: 3}})
+	s.Record(0, "1*imul", engine.Result{InvThroughput: 1.0}) // legacy: no Runs
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = Open(dir, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	proc := newRestoreRecorder()
+	eng := engine.New(proc)
+	if err := s.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.restored["add"]; got != 44 {
+		t.Errorf("restored add = %d, want 11+33 = 44", got)
+	}
+	reps := uint64(eng.Reps)
+	if got := proc.restored["imul"]; got != reps {
+		t.Errorf("restored imul = %d, want Reps fallback %d", got, reps)
+	}
+}

@@ -172,8 +172,15 @@ func (s *Store) logf(format string, args ...any) {
 
 // insert merges one record into the in-memory state (last write
 // wins; identical keys within a generation hold identical results by
-// construction).
+// construction). Records written before the quality field existed
+// decode with a zero Quality; they are normalized to "all samples
+// kept, raw spread, full confidence", the semantics the fixed-Reps
+// engine they came from actually had.
 func (s *Store) insert(r Record) {
+	if r.Result.Runs > 0 && r.Result.Quality.Kept == 0 {
+		r.Result.Quality.Kept = r.Result.Runs
+		r.Result.Quality.Spread = r.Result.Spread
+	}
 	g, ok := s.records[r.Gen]
 	if !ok {
 		g = make(map[string]Record)
@@ -360,10 +367,12 @@ func (s *Store) Attach(eng *engine.Engine) error {
 }
 
 // restoreExecCounts tells the processor how many times each journaled
-// kernel was executed by prior runs. Each generation executes a
-// distinct experiment at most once, at Reps processor executions per
-// engine-level execution, so the count is (#generations holding the
-// key) × Reps.
+// kernel was executed by prior runs. Each stored result carries its
+// own successful-execution total in Result.Runs (the adaptive engine
+// may escalate past Reps), so the count is the sum of Runs across the
+// generations holding the key. Records that predate the Runs
+// accounting fall back to Reps, the fixed repetition count the engine
+// that wrote them used.
 func (s *Store) restoreExecCounts(eng *engine.Engine) error {
 	rest, ok := eng.P.(engine.ExecCountRestorer)
 	if !ok {
@@ -376,8 +385,12 @@ func (s *Store) restoreExecCounts(eng *engine.Engine) error {
 	s.mu.Lock()
 	counts := make(map[string]uint64)
 	for _, g := range s.records {
-		for key := range g {
-			counts[key]++
+		for key, r := range g {
+			if r.Result.Runs > 0 {
+				counts[key] += uint64(r.Result.Runs)
+			} else {
+				counts[key] += uint64(reps)
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -386,7 +399,7 @@ func (s *Store) restoreExecCounts(eng *engine.Engine) error {
 		if err != nil {
 			return fmt.Errorf("persist: stored key %q: %w", key, err)
 		}
-		rest.RestoreExecCount(engine.KernelOf(exp), n*uint64(reps))
+		rest.RestoreExecCount(engine.KernelOf(exp), n)
 	}
 	return nil
 }

@@ -111,28 +111,28 @@ func TestRestoreLemmasRejectsCorrupt(t *testing.T) {
 			wantErr: "empty clause",
 		},
 		{
-			name: "uop index negative",
-			recs: []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: -1, Port: 0}}, Src: portmodel.Exp("iA")}},
+			name:    "uop index negative",
+			recs:    []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: -1, Port: 0}}, Src: portmodel.Exp("iA")}},
 			wantErr: "µop index -1 out of range",
 		},
 		{
-			name: "uop index too large",
-			recs: []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 5, Port: 0}}, Src: portmodel.Exp("iA")}},
+			name:    "uop index too large",
+			recs:    []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 5, Port: 0}}, Src: portmodel.Exp("iA")}},
 			wantErr: "µop index 5 out of range",
 		},
 		{
-			name: "port negative",
-			recs: []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 0, Port: -2}}, Src: portmodel.Exp("iA")}},
+			name:    "port negative",
+			recs:    []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 0, Port: -2}}, Src: portmodel.Exp("iA")}},
 			wantErr: "port -2 out of range",
 		},
 		{
-			name: "port too large",
-			recs: []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 0, Port: 2}}, Src: portmodel.Exp("iA")}},
+			name:    "port too large",
+			recs:    []LemmaRecord{{Lits: []LemmaLitRecord{{Uop: 0, Port: 2}}, Src: portmodel.Exp("iA")}},
 			wantErr: "port 2 out of range",
 		},
 		{
-			name: "bad record after valid one",
-			recs: []LemmaRecord{valid, {Lits: []LemmaLitRecord{{Uop: 0, Port: 99}}, Src: portmodel.Exp("iA")}},
+			name:    "bad record after valid one",
+			recs:    []LemmaRecord{valid, {Lits: []LemmaLitRecord{{Uop: 0, Port: 99}}, Src: portmodel.Exp("iA")}},
 			wantErr: "lemma 1",
 		},
 	}

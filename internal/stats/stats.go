@@ -36,6 +36,130 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// MAD returns the median absolute deviation of xs from its median.
+// Unlike the standard deviation it is insensitive to wild outliers,
+// which is what makes it the right scale estimate for rejecting them.
+// Empty input yields 0, never NaN.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - m)
+	}
+	return Median(devs)
+}
+
+// madToSigma converts a MAD into a normal-consistent standard
+// deviation estimate (MAD = 0.6745·σ for a Gaussian).
+const madToSigma = 1 / 0.6745
+
+// TrimmedMean returns the mean of xs after dropping a fraction frac of
+// the samples from each tail (frac is clamped into [0, 0.5)). With
+// nothing left after trimming it falls back to the plain mean; empty
+// input yields 0, never NaN.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	k := int(frac * float64(len(c)))
+	if 2*k >= len(c) {
+		return Mean(c)
+	}
+	return Mean(c[k : len(c)-k])
+}
+
+// RelSpread returns the raw relative spread (max−min)/|median| of xs.
+// It is the instability signal of §4.1.2/§4.2: bimodal measurements
+// show a large value that the median alone would hide. Fewer than two
+// samples, or a zero median, yield 0 — never NaN or Inf.
+func RelSpread(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Median(xs)
+	if m == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return (hi - lo) / math.Abs(m)
+}
+
+// RobustSpread returns the interquartile range of xs relative to its
+// median, IQR/|median|. Unlike RelSpread it does not grow with the
+// sample count under constant noise, which makes it the right
+// convergence criterion for adaptive repetition: more samples tighten
+// it only when the underlying distribution is actually concentrated.
+// Fewer than two samples, or a zero median, yield 0 — never NaN.
+func RobustSpread(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Median(xs)
+	if m == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return (percentile(c, 0.75) - percentile(c, 0.25)) / math.Abs(m)
+}
+
+// percentile linearly interpolates the p-quantile of sorted xs.
+func percentile(sorted []float64, p float64) float64 {
+	idx := p * float64(len(sorted)-1)
+	lo := int(idx)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// RejectOutliers computes a keep-mask over xs: sample i is rejected
+// when its distance from the median exceeds
+//
+//	max(kMAD · MAD/0.6745, minRel · |median|).
+//
+// The MAD term is the classic robust z-score test; the relative floor
+// keeps it from firing on structure rather than corruption — genuine
+// bimodal measurements (modes within minRel of the median, §4.1.2)
+// survive at any mode split, while far-out corruption (a 10×
+// latency spike) is always rejected. Constant input rejects nothing;
+// empty input returns a nil mask. rejected counts the false entries.
+func RejectOutliers(xs []float64, kMAD, minRel float64) (keep []bool, rejected int) {
+	if len(xs) == 0 {
+		return nil, 0
+	}
+	m := Median(xs)
+	thresh := kMAD * MAD(xs) * madToSigma
+	if rel := minRel * math.Abs(m); rel > thresh {
+		thresh = rel
+	}
+	keep = make([]bool, len(xs))
+	for i, x := range xs {
+		keep[i] = math.Abs(x-m) <= thresh
+		if !keep[i] {
+			rejected++
+		}
+	}
+	return keep, rejected
+}
+
 // MAPE returns the mean absolute percentage error of predictions
 // against measurements, as a fraction (0.066 = 6.6%). Measurements of
 // zero are skipped.

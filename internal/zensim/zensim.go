@@ -95,9 +95,12 @@ func NewMachine(db *zen.DB, cfg Config) *Machine {
 	return &Machine{db: db, cfg: cfg, seq: make(map[uint64]uint64)}
 }
 
-// kernelHash is the FNV-64a identity of a kernel, the key of the
-// per-kernel repetition counter.
-func kernelHash(kernel []string) uint64 {
+// KernelHash is the FNV-64a identity of a kernel (scheme keys joined
+// with NUL separators), the key of the per-kernel repetition counter.
+// It is exported for layers that must share the machine's per-kernel
+// identity — the chaos fault injector keys its per-kernel round
+// counters with it so RestoreExecCount addresses the same streams.
+func KernelHash(kernel []string) uint64 {
 	h := fnv.New64a()
 	for _, k := range kernel {
 		_, _ = h.Write([]byte(k))
@@ -106,19 +109,28 @@ func kernelHash(kernel []string) uint64 {
 	return h.Sum64()
 }
 
-// kernelRNG returns the RNG for one execution of kernel, seeded from
-// (cfg.Seed, FNV-64a of the kernel, this kernel's repetition index)
-// mixed through a splitmix64 finalizer.
+// ExecSeed derives the deterministic RNG seed for execution index n of
+// the kernel with hash kh under the global seed: a splitmix64 chain
+// over (seed, kh, n). This is the per-execution RNG discipline that
+// makes measurements worker-count invariant; it is exported so other
+// deterministic per-(kernel, index) decision streams (fault plans) can
+// reuse it with their own seed salt.
+func ExecSeed(seed int64, kh, n uint64) int64 {
+	z := splitmix64(uint64(seed))
+	z = splitmix64(z ^ kh)
+	z = splitmix64(z ^ n)
+	return int64(z)
+}
+
+// kernelRNG returns the RNG for one execution of kernel, advancing the
+// kernel's repetition counter.
 func (m *Machine) kernelRNG(kernel []string) *rand.Rand {
-	kh := kernelHash(kernel)
+	kh := KernelHash(kernel)
 	m.mu.Lock()
 	n := m.seq[kh]
 	m.seq[kh] = n + 1
 	m.mu.Unlock()
-	z := splitmix64(uint64(m.cfg.Seed))
-	z = splitmix64(z ^ kh)
-	z = splitmix64(z ^ n)
-	return rand.New(rand.NewSource(int64(z)))
+	return rand.New(rand.NewSource(ExecSeed(m.cfg.Seed, kh, n)))
 }
 
 // RestoreExecCount fast-forwards kernel's repetition counter to
@@ -131,7 +143,7 @@ func (m *Machine) kernelRNG(kernel []string) *rand.Rand {
 // moves forward; executions already performed in this process are
 // never rewound.
 func (m *Machine) RestoreExecCount(kernel []string, executions uint64) {
-	kh := kernelHash(kernel)
+	kh := KernelHash(kernel)
 	m.mu.Lock()
 	if executions > m.seq[kh] {
 		m.seq[kh] = executions

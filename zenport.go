@@ -26,6 +26,7 @@ package zenport
 import (
 	"context"
 
+	"zenport/internal/chaos"
 	"zenport/internal/core"
 	"zenport/internal/engine"
 	"zenport/internal/isa"
@@ -67,6 +68,16 @@ type (
 	EngineMetrics = engine.Metrics
 	// MeasureResult is a processed measurement for one experiment.
 	MeasureResult = engine.Result
+	// Quality is the confidence record of one measurement (kept and
+	// rejected samples, robust spread, low-confidence flag).
+	Quality = engine.Quality
+
+	// ChaosRegime configures deterministic fault injection.
+	ChaosRegime = chaos.Regime
+	// ChaosProcessor wraps a Processor in a seeded fault regime.
+	ChaosProcessor = chaos.Processor
+	// ChaosLedger counts injected faults per class.
+	ChaosLedger = chaos.Ledger
 
 	// SimConfig configures the simulated Zen+ machine.
 	SimConfig = zensim.Config
@@ -82,6 +93,9 @@ type (
 	Witness = core.Witness
 	// BlockClass is a blocking-instruction equivalence class.
 	BlockClass = core.BlockClass
+	// DegradedMeasurement is one low-confidence measurement the
+	// pipeline proceeded with.
+	DegradedMeasurement = core.DegradedMeasurement
 
 	// Instance is a findMapping/findOtherMapping problem.
 	Instance = smt.Instance
@@ -136,15 +150,34 @@ func NewEngine(p Processor) *Engine { return engine.New(p) }
 // DefaultOptions returns the paper's pipeline parameters.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// RunFingerprint identifies a (machine, engine) measurement
+// Fingerprinter identifies a measurement-relevant configuration: the
+// simulated machine and the chaos wrapper both implement it.
+type Fingerprinter interface{ Fingerprint() string }
+
+// RunFingerprint identifies a (processor, engine) measurement
 // configuration for the persistence layer. Persisted measurements and
 // checkpoints written under a different fingerprint are stale and are
 // invalidated rather than reused. The worker count is deliberately
 // not part of the fingerprint: results are byte-identical at every
-// worker count.
-func RunFingerprint(m *Machine, eng *Engine) string {
-	return m.Fingerprint() + "|" + eng.Fingerprint()
+// worker count. Pass the outermost processor (the chaos wrapper when
+// fault injection is on): corrupted measurements must never be served
+// to a fault-free run.
+func RunFingerprint(p Fingerprinter, eng *Engine) string {
+	return p.Fingerprint() + "|" + eng.Fingerprint()
 }
+
+// WrapChaos wraps a processor in a deterministic, seeded fault-
+// injection regime. The wrapped processor derives a fault plan per
+// (seed, kernel, execution index), so injected faults are reproducible
+// at any worker count and across kill-and-resume.
+func WrapChaos(p Processor, seed int64, regime ChaosRegime) *ChaosProcessor {
+	return chaos.New(p, seed, regime)
+}
+
+// DefaultChaosRegime is the documented soak regime: ≈2% transient
+// errors, rare short hangs, 1% 10× outlier spikes, 0.5% stuck
+// counters.
+func DefaultChaosRegime() ChaosRegime { return chaos.DefaultRegime() }
 
 // OpenCache opens (or creates) a crash-safe measurement cache
 // directory under the given configuration fingerprint.
