@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race soak verify bench clean
+.PHONY: build test vet race soak solver-soak verify bench clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,16 @@ race:
 # fault-free golden run plus kill-and-resume and cancellation legs.
 soak:
 	$(GO) test -race -timeout 20m -run 'TestChaosSoak' -v ./internal/chaos/
+
+# solver-soak runs inference under solver-level adversity: the
+# consistent-lie fault class (a statically shifted kernel the outlier
+# filter cannot see, recoverable only via UNSAT-core relaxation),
+# budget-starved solver queries, and the retry-on-resume path —
+# asserting the pipeline degrades to a partial mapping instead of
+# dying, and that recovery keeps the untouched schemes byte-identical
+# to the fault-free golden run.
+solver-soak:
+	$(GO) test -race -timeout 20m -run 'TestChaosConsistentLie|TestPipelineBudget|TestPipelineRetryUnresolvedOnResume|TestSupervised|TestUnsatCore' -v ./internal/chaos/ ./internal/core/ ./internal/smt/
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # the full test suite, and pass the race detector on the concurrent

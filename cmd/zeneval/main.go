@@ -39,6 +39,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "crash-safe measurement cache directory (empty = no persistence)")
 	resume := flag.Bool("resume", false, "resume an interrupted inference from its checkpoints (requires -cache-dir)")
 	fast := flag.Bool("fast", false, "smaller PMEvo budget")
+	solverBudget := flag.Uint64("solver-budget", 0, "max CDCL conflicts per solver query during inference (0 = unlimited)")
+	maxSlack := flag.Float64("max-slack", 0, "max error-bound relaxation for UNSAT-core recovery during inference (0 = disabled)")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	flag.Parse()
 
@@ -62,6 +64,8 @@ func main() {
 	if !*quiet {
 		opts.Log = func(f string, a ...any) { log.Printf(f, a...) }
 	}
+	opts.SolverBudget = zenport.SolverBudget{MaxConflicts: *solverBudget}
+	opts.MaxSlack = *maxSlack
 	if *cacheDir != "" {
 		fp := zenport.RunFingerprint(machine, h.Engine)
 		store, err := zenport.OpenCache(*cacheDir, fp)

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	zeninfer [-seed N] [-noise F] [-parallel N] [-timeout D] [-max-schemes N] [-cache-dir DIR] [-resume] [-chaos] [-chaos-seed N] [-quality-spread F] [-out mapping.json] [-witnesses]
+//	zeninfer [-seed N] [-noise F] [-parallel N] [-timeout D] [-max-schemes N] [-cache-dir DIR] [-resume] [-chaos] [-chaos-seed N] [-quality-spread F] [-solver-budget N] [-max-slack F] [-out mapping.json] [-witnesses]
 //
 // Measurements run through the batch engine; -parallel sets the
 // worker-pool size (results are byte-identical for every value) and
@@ -26,6 +26,14 @@
 // low-confidence — no fault class aborts the inference.
 // -quality-spread tunes the adaptive repetition target (default 0.05
 // robust relative spread).
+//
+// -solver-budget bounds every CDCL solver query to that many
+// conflicts; exhausted queries degrade the run to a partial mapping
+// (unresolved schemes are listed, and a later -resume retries them)
+// instead of aborting. -max-slack enables UNSAT-core recovery: when
+// the measurements are mutually inconsistent, the minimal conflicting
+// experiment set is isolated and its least trustworthy measurements
+// are re-measured and relaxed by up to the given error-bound slack.
 package main
 
 import (
@@ -52,6 +60,8 @@ func main() {
 	chaosOn := flag.Bool("chaos", false, "inject deterministic faults (transients, hangs, outliers, stuck counters)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos)")
 	qualitySpread := flag.Float64("quality-spread", 0, "adaptive repetition quality target, robust relative spread (0 = default 0.05)")
+	solverBudget := flag.Uint64("solver-budget", 0, "max CDCL conflicts per solver query; exhausted queries degrade to a partial mapping (0 = unlimited)")
+	maxSlack := flag.Float64("max-slack", 0, "max per-measurement error-bound relaxation for UNSAT-core recovery (0 = disabled)")
 	out := flag.String("out", "", "write the final mapping to this JSON file")
 	witnesses := flag.Bool("witnesses", false, "print the CEGAR witness experiments")
 	quiet := flag.Bool("q", false, "suppress progress logging")
@@ -87,6 +97,8 @@ func main() {
 	if !*quiet {
 		opts.Log = func(format string, args ...any) { log.Printf(format, args...) }
 	}
+	opts.SolverBudget = zenport.SolverBudget{MaxConflicts: *solverBudget}
+	opts.MaxSlack = *maxSlack
 
 	if *cacheDir != "" {
 		fp := zenport.RunFingerprint(fper, h.Engine)
@@ -129,6 +141,7 @@ func main() {
 		printWitnesses(rep)
 	}
 	printDegraded(rep)
+	printSupervision(rep)
 	m := h.Metrics()
 	fmt.Printf("\ntotal distinct measurements: %d\n", h.MeasurementCount())
 	fmt.Printf("engine: %d submitted, %d cache hits, %d coalesced, %d retries, batch wall %s\n",
@@ -217,4 +230,35 @@ func printDegraded(rep *zenport.Report) {
 	}
 	fmt.Printf("inference completed despite %d low-confidence measurement(s); treat the facts they support with suspicion\n",
 		len(rep.Degraded))
+}
+
+// printSupervision reports what the solver supervision layer did:
+// aggregate CDCL telemetry, any inconsistency cores it isolated with
+// the relaxations that recovered them, budget stops, and the schemes
+// that ended the run unresolved or relaxed.
+func printSupervision(rep *zenport.Report) {
+	s := rep.Supervision
+	if s == nil {
+		return
+	}
+	fmt.Printf("\n== Solver supervision\n")
+	fmt.Printf("solver: %d queries, %d theory iterations, %d lemmas, %d conflicts, %d decisions, %d propagations, %d restarts\n",
+		s.Solver.Queries, s.Solver.TheoryIterations, s.Solver.LemmasLearned,
+		s.Solver.Solver.Conflicts, s.Solver.Solver.Decisions,
+		s.Solver.Solver.Propagations, s.Solver.Solver.Restarts)
+	if s.BudgetStops > 0 {
+		fmt.Printf("budget: %d quer(ies) stopped at the solver budget; results degraded, not aborted\n", s.BudgetStops)
+	}
+	for _, c := range s.Cores {
+		fmt.Printf("inconsistency core (minimal conflicting experiment set): %v\n", c)
+	}
+	for _, rx := range s.Relaxations {
+		fmt.Printf("relaxed %-42s slack %.2f (t_inv %.4f -> %.4f)\n", rx.Key, rx.Slack, rx.OldTInv, rx.NewTInv)
+	}
+	if len(rep.Relaxed) > 0 {
+		fmt.Printf("schemes supported by relaxed measurements: %v\n", rep.Relaxed)
+	}
+	if len(rep.Unresolved) > 0 {
+		fmt.Printf("unresolved schemes (absent from the mapping; rerun with -resume to retry): %v\n", rep.Unresolved)
+	}
 }

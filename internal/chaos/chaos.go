@@ -36,11 +36,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zenport/internal/engine"
+	"zenport/internal/portmodel"
 	"zenport/internal/zensim"
 )
 
@@ -48,6 +50,10 @@ import (
 // measurement-noise streams when both are configured with the same
 // seed.
 const chaosSalt = 0x6368616f73 // "chaos"
+
+// lieSalt separates the per-kernel consistent-lie decision stream from
+// both the fault-plan and measurement-noise streams.
+const lieSalt = 0x6c6965 // "lie"
 
 // Regime configures the fault mix. All rates are per-round
 // probabilities in [0, 1]; the zero value injects nothing.
@@ -82,6 +88,28 @@ type Regime struct {
 	DriftAmplitude float64
 	// DriftPeriod is the drift period in rounds (≤0 disables drift).
 	DriftPeriod int
+	// LieRate is the per-kernel probability that the kernel lies
+	// consistently: every execution of a lying kernel reports its
+	// cycles multiplied by LieFactor. Unlike the per-round outlier
+	// spikes, the decision is static per kernel, so all samples shift
+	// identically, the robust spread stays perfect, and no outlier
+	// filter can reject the corruption — it is only discoverable as a
+	// cross-experiment inconsistency at the solver level. This is the
+	// fault class the solver supervision's UNSAT-core recovery exists
+	// for.
+	LieRate float64
+	// LieFactor is the consistent-lie cycle multiplier (≤0 means 2).
+	LieFactor float64
+	// LieMinDistinct gates lying to kernels with at least this many
+	// distinct instructions. Setting it to 2 spares the singleton
+	// kernels that stage 1/2 classification depends on, confining the
+	// lie to the mixture experiments the SMT stages consume.
+	LieMinDistinct int
+	// LieExact, when non-empty, replaces the random draw: exactly the
+	// kernels whose canonical experiment keys are listed lie. This is
+	// the deterministic targeting used by tests that need a known
+	// inconsistency.
+	LieExact []string
 }
 
 // DefaultRegime is the documented soak regime: 2% transient errors,
@@ -113,14 +141,16 @@ type Ledger struct {
 	Stuck uint64
 	// Drifted counts executions whose cycles were drift-scaled.
 	Drifted uint64
+	// Lies counts executions of consistently lying kernels.
+	Lies uint64
 	// Rounds counts successful inner executions.
 	Rounds uint64
 }
 
 // String renders the ledger as a one-line report.
 func (l Ledger) String() string {
-	return fmt.Sprintf("rounds=%d transients=%d hangs=%d outliers=%d stuck=%d drifted=%d",
-		l.Rounds, l.Transients, l.Hangs, l.Outliers, l.Stuck, l.Drifted)
+	return fmt.Sprintf("rounds=%d transients=%d hangs=%d outliers=%d stuck=%d drifted=%d lies=%d",
+		l.Rounds, l.Transients, l.Hangs, l.Outliers, l.Stuck, l.Drifted, l.Lies)
 }
 
 // roundPlan is the per-kernel fault state of the current round. It is
@@ -152,6 +182,7 @@ type Processor struct {
 	outliers   atomic.Uint64
 	stuck      atomic.Uint64
 	drifted    atomic.Uint64
+	lies       atomic.Uint64
 	nRounds    atomic.Uint64
 }
 
@@ -168,6 +199,9 @@ func New(inner engine.Processor, seed int64, regime Regime) *Processor {
 	}
 	if regime.MaxPreFaults <= 0 {
 		regime.MaxPreFaults = 2
+	}
+	if regime.LieFactor <= 0 {
+		regime.LieFactor = 2
 	}
 	return &Processor{
 		inner:   inner,
@@ -186,6 +220,7 @@ func (p *Processor) Ledger() Ledger {
 		Outliers:   p.outliers.Load(),
 		Stuck:      p.stuck.Load(),
 		Drifted:    p.drifted.Load(),
+		Lies:       p.lies.Load(),
 		Rounds:     p.nRounds.Load(),
 	}
 }
@@ -205,9 +240,16 @@ func (p *Processor) Fingerprint() string {
 		inner = f.Fingerprint()
 	}
 	r := p.regime
-	return fmt.Sprintf("%s|chaos:v1 seed=%d transient=%g hang=%g/%s pre=%d outlier=%gx%g stuck=%g drift=%g/%d",
+	fp := fmt.Sprintf("%s|chaos:v1 seed=%d transient=%g hang=%g/%s pre=%d outlier=%gx%g stuck=%g drift=%g/%d",
 		inner, p.seed, r.TransientRate, r.HangRate, r.HangDuration, r.MaxPreFaults,
 		r.OutlierRate, r.OutlierFactor, r.StuckRate, r.DriftAmplitude, r.DriftPeriod)
+	// The lie segment only appears when lying is configured, so caches
+	// written by lie-free regimes keep their pre-existing fingerprint.
+	if r.LieRate > 0 || len(r.LieExact) > 0 {
+		fp += fmt.Sprintf(" lie=%gx%g min=%d exact=%s",
+			r.LieRate, r.LieFactor, r.LieMinDistinct, strings.Join(r.LieExact, ","))
+	}
+	return fp
 }
 
 // RestoreExecCount fast-forwards the kernel's round counter (and the
@@ -294,6 +336,10 @@ func (p *Processor) ExecuteContext(ctx context.Context, kernel []string, iterati
 	p.mu.Unlock()
 	p.nRounds.Add(1)
 
+	if p.isLiar(kernel, kh) {
+		p.lies.Add(1)
+		c.Cycles *= p.regime.LieFactor
+	}
 	if pl.outlier {
 		p.outliers.Add(1)
 		c.Cycles *= p.regime.OutlierFactor
@@ -313,6 +359,52 @@ func (p *Processor) ExecuteContext(ctx context.Context, kernel []string, iterati
 		c.Cycles *= 1 + a*math.Sin(2*math.Pi*float64(n)/float64(p.regime.DriftPeriod))
 	}
 	return c, nil
+}
+
+// isLiar reports whether the kernel lies consistently under this
+// regime. The decision is per-kernel-static: forced by LieExact, or
+// drawn once from the kernel's round-0 lie stream — never from the
+// per-round plan — so it holds for every execution of the kernel,
+// including re-measurements.
+func (p *Processor) isLiar(kernel []string, kh uint64) bool {
+	r := p.regime
+	if len(r.LieExact) > 0 {
+		key := kernelCanonicalKey(kernel)
+		for _, k := range r.LieExact {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	}
+	if r.LieRate <= 0 {
+		return false
+	}
+	if r.LieMinDistinct > 0 && distinctCount(kernel) < r.LieMinDistinct {
+		return false
+	}
+	rng := rand.New(rand.NewSource(zensim.ExecSeed(p.seed^lieSalt, kh, 0)))
+	return rng.Float64() < r.LieRate
+}
+
+// kernelCanonicalKey recovers the canonical experiment key of a
+// flattened kernel (the inverse of engine.KernelOf up to multiset
+// identity).
+func kernelCanonicalKey(kernel []string) string {
+	e := make(portmodel.Experiment, len(kernel))
+	for _, k := range kernel {
+		e[k]++
+	}
+	return engine.CanonicalKey(e)
+}
+
+// distinctCount counts distinct instructions in a kernel.
+func distinctCount(kernel []string) int {
+	seen := make(map[string]bool, len(kernel))
+	for _, k := range kernel {
+		seen[k] = true
+	}
+	return len(seen)
 }
 
 // innerExecute prefers the inner processor's cancellable form.

@@ -247,3 +247,123 @@ func TestEngineRetriesAbsorbPreFaults(t *testing.T) {
 		t.Fatalf("BackoffWait = %v, want > 0", w)
 	}
 }
+
+// TestConsistentLieExact: a kernel targeted by LieExact reports scaled
+// cycles on every execution — the corruption never varies, so the
+// engine's outlier rejection has nothing to reject — while untargeted
+// kernels pass through untouched.
+func TestConsistentLieExact(t *testing.T) {
+	regime := chaos.Regime{LieExact: []string{"1*a|1*b"}, LieFactor: 1.5}
+	p := chaos.New(newFakeInner(), 9, regime)
+	ref := newFakeInner()
+
+	liar := engine.KernelOf(portmodel.Experiment{"a": 1, "b": 1})
+	honest := engine.KernelOf(portmodel.Exp("a"))
+	for i := 0; i < 10; i++ {
+		got := runRound(t, p, liar)
+		want, _ := ref.Execute(liar, 100)
+		if math.Abs(got.Cycles-1.5*want.Cycles) > 1e-9 {
+			t.Fatalf("round %d: lied cycles %v, want %v × 1.5", i, got.Cycles, want.Cycles)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got := runRound(t, p, honest)
+		want, _ := ref.Execute(honest, 100)
+		if got.Cycles != want.Cycles {
+			t.Fatalf("round %d: honest kernel corrupted: %v vs %v", i, got.Cycles, want.Cycles)
+		}
+	}
+	if l := p.Ledger(); l.Lies != 10 {
+		t.Fatalf("Lies = %d, want 10", l.Lies)
+	}
+}
+
+// TestLieMinDistinctGate: with the distinct-instruction gate at 2, the
+// singleton kernels the classification stages depend on can never lie,
+// no matter the rate.
+func TestLieMinDistinctGate(t *testing.T) {
+	regime := chaos.Regime{LieRate: 1.0, LieFactor: 2, LieMinDistinct: 2}
+	p := chaos.New(newFakeInner(), 11, regime)
+	ref := newFakeInner()
+
+	single := engine.KernelOf(portmodel.Experiment{"a": 3})
+	got := runRound(t, p, single)
+	want, _ := ref.Execute(single, 100)
+	if got.Cycles != want.Cycles {
+		t.Fatalf("gated singleton lied: %v vs %v", got.Cycles, want.Cycles)
+	}
+
+	pair := engine.KernelOf(portmodel.Experiment{"a": 1, "b": 1})
+	got = runRound(t, p, pair)
+	want, _ = ref.Execute(pair, 100)
+	if math.Abs(got.Cycles-2*want.Cycles) > 1e-9 {
+		t.Fatalf("rate-1 pair did not lie: %v vs %v", got.Cycles, want.Cycles)
+	}
+	if l := p.Ledger(); l.Lies != 1 {
+		t.Fatalf("Lies = %d, want 1", l.Lies)
+	}
+}
+
+// TestLieIsStaticPerKernel: the lie decision must not change between
+// rounds or survive into other kernels' streams, and re-creating the
+// processor at the same seed reproduces it exactly.
+func TestLieIsStaticPerKernel(t *testing.T) {
+	regime := chaos.Regime{LieRate: 0.5, LieFactor: 3}
+	kernels := [][]string{{"a"}, {"b"}, {"c"}, {"a", "b"}, {"b", "c"}}
+	verdicts := func(seed int64) []bool {
+		p := chaos.New(newFakeInner(), seed, regime)
+		ref := newFakeInner()
+		out := make([]bool, len(kernels))
+		for i, k := range kernels {
+			lied := false
+			for r := 0; r < 5; r++ {
+				got := runRound(t, p, k)
+				want, _ := ref.Execute(k, 100)
+				isLie := math.Abs(got.Cycles-3*want.Cycles) < 1e-9
+				if r == 0 {
+					lied = isLie
+				} else if isLie != lied {
+					t.Fatalf("kernel %v flipped its lie verdict at round %d", k, r)
+				}
+			}
+			out[i] = lied
+		}
+		return out
+	}
+	first := verdicts(21)
+	again := verdicts(21)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("kernel %v verdict not reproducible at fixed seed", kernels[i])
+		}
+	}
+	anyLie := false
+	for _, v := range first {
+		anyLie = anyLie || v
+	}
+	other := verdicts(22)
+	differs := false
+	for i := range first {
+		differs = differs || first[i] != other[i]
+	}
+	if !anyLie && !differs {
+		t.Skip("rate-0.5 draw produced no liar at either seed; statistically possible but suspicious")
+	}
+}
+
+// TestLieFingerprint: lie parameters must invalidate caches, but a
+// lie-free regime keeps the fingerprint it always had.
+func TestLieFingerprint(t *testing.T) {
+	base := chaos.New(newFakeInner(), 1, chaos.Regime{OutlierRate: 0.01})
+	if strings.Contains(base.Fingerprint(), "lie=") {
+		t.Fatalf("lie-free fingerprint mentions lies: %s", base.Fingerprint())
+	}
+	lied := chaos.New(newFakeInner(), 1, chaos.Regime{OutlierRate: 0.01, LieRate: 0.1})
+	if lied.Fingerprint() == base.Fingerprint() {
+		t.Fatal("lie regime does not change the fingerprint")
+	}
+	exact := chaos.New(newFakeInner(), 1, chaos.Regime{OutlierRate: 0.01, LieExact: []string{"1*a"}})
+	if exact.Fingerprint() == base.Fingerprint() || exact.Fingerprint() == lied.Fingerprint() {
+		t.Fatal("LieExact regimes must be distinguishable")
+	}
+}

@@ -1,0 +1,106 @@
+package chaos_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"zenport/internal/chaos"
+	"zenport/internal/core"
+	"zenport/internal/engine"
+)
+
+// The consistent-lie soak: a fault that shifts every sample of one
+// kernel by the same factor is invisible to the per-sample outlier
+// filter — it can only surface as a solver-level inconsistency. These
+// tests drive the full pipeline through such a lie and demand the
+// supervision layer isolate it to a minimal core, relax exactly the
+// lied measurement, and keep everything else byte-identical to the
+// fault-free golden run.
+
+// liedKernel is the singleton throughput kernel of the mov load
+// blocker. A 1.06× lie moves its measured inverse throughput from
+// 0.50 to 0.53: stage 1 still rounds 1/0.53 to two ports (its
+// tolerance is 0.15), but no port count q satisfies |0.53 − 1/q| ≤ ε
+// with ε = 0.02, so the stage-3 model is infeasible with this single
+// seed experiment as the minimal core.
+const (
+	liedKernel = "1*mov GPR[32], MEM[32]"
+	liedScheme = "mov GPR[32], MEM[32]"
+)
+
+func lieRegime() chaos.Regime {
+	return chaos.Regime{LieExact: []string{liedKernel}, LieFactor: 1.06}
+}
+
+// TestChaosConsistentLieRecovery: with slack recovery enabled the
+// pipeline must complete, report the minimal core and one relaxation
+// on the lied kernel, flag the scheme Relaxed — and still produce a
+// final mapping byte-identical to the fault-free golden run, because
+// the honest counter-example measurements pin the relaxed blocker to
+// its true ports anyway.
+func TestChaosConsistentLieRecovery(t *testing.T) {
+	golden := soakGolden(t)
+	opts := core.DefaultOptions()
+	opts.MaxSlack = 1.0
+	var cp *chaos.Processor
+	p := newSoakPipeline(t, 4, func(inner engine.Processor) engine.Processor {
+		cp = chaos.New(inner, soakChaosSeed, lieRegime())
+		return cp
+	}, opts)
+	rep, err := p.Run()
+	if err != nil {
+		t.Fatalf("pipeline under consistent lie failed: %v", err)
+	}
+	if cp.Ledger().Lies == 0 {
+		t.Fatal("the lie never fired")
+	}
+	sup := rep.Supervision
+	if sup == nil {
+		t.Fatal("no supervision summary")
+	}
+	if len(sup.Cores) != 1 || len(sup.Cores[0]) != 1 || sup.Cores[0][0] != liedKernel {
+		t.Fatalf("cores = %v, want exactly the lied kernel", sup.Cores)
+	}
+	if len(sup.Relaxations) != 1 || sup.Relaxations[0].Key != liedKernel {
+		t.Fatalf("relaxations = %+v, want one on the lied kernel", sup.Relaxations)
+	}
+	if len(rep.Relaxed) != 1 || rep.Relaxed[0] != liedScheme {
+		t.Fatalf("relaxed schemes = %v, want [%s]", rep.Relaxed, liedScheme)
+	}
+	if len(rep.Unresolved) != 0 || len(rep.AnomalousBlockers) != 0 {
+		t.Fatalf("unexpected degradation: unresolved=%v anomalous=%v", rep.Unresolved, rep.AnomalousBlockers)
+	}
+	data, err := json.MarshalIndent(rep.Final, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(golden) {
+		t.Fatal("recovered mapping differs from fault-free golden run")
+	}
+}
+
+// TestChaosConsistentLieZeroSlack: with recovery disabled (the
+// default), the lie routes through the pre-existing §4.3 anomaly
+// isolation instead — the blocker's mnemonic family is excluded, the
+// run still completes, and the inconsistency is reported as a core.
+func TestChaosConsistentLieZeroSlack(t *testing.T) {
+	p := newSoakPipeline(t, 4, func(inner engine.Processor) engine.Processor {
+		return chaos.New(inner, soakChaosSeed, lieRegime())
+	}, core.DefaultOptions())
+	rep, err := p.Run()
+	if err != nil {
+		t.Fatalf("pipeline under consistent lie failed: %v", err)
+	}
+	anomalous := false
+	for _, a := range rep.AnomalousBlockers {
+		if a == liedScheme {
+			anomalous = true
+		}
+	}
+	if !anomalous {
+		t.Fatalf("lied blocker not isolated as anomalous: %v", rep.AnomalousBlockers)
+	}
+	if len(rep.Relaxed) != 0 {
+		t.Fatalf("zero-slack run relaxed measurements: %v", rep.Relaxed)
+	}
+}

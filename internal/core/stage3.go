@@ -7,7 +7,9 @@ import (
 	"sort"
 	"strings"
 
+	"zenport/internal/persist"
 	"zenport/internal/portmodel"
+	"zenport/internal/sat"
 	"zenport/internal/smt"
 )
 
@@ -22,6 +24,13 @@ func (p *Pipeline) stage3(ctx context.Context, rep *Report) error {
 	if err != nil {
 		return err
 	}
+	if rep.Supervision == nil {
+		rep.Supervision = &SupervisionSummary{}
+	}
+	// Every solve of the stage — including clones, sub-instances, and
+	// core-extraction probes — accumulates straight into the report's
+	// telemetry.
+	inst.Telemetry = &rep.Supervision.Solver
 
 	// Seed experiments: every blocker executed alone, as one batch.
 	seedKeys := inst.SortedKeys()
@@ -41,9 +50,19 @@ func (p *Pipeline) stage3(ctx context.Context, rep *Report) error {
 		})
 	}
 
+	// lastGood tracks the most recent consistent mapping, the
+	// degradation target if the solver budget later runs out.
+	var lastGood *portmodel.Mapping
 	for round := 0; round < p.Opts.MaxCEGARRounds; round++ {
-		m1, err := inst.FindMappingContext(ctx, exps)
+		m1, relaxed, srep, err := inst.FindMappingSupervised(ctx, exps, p.superviseOpts(ctx))
+		exps = relaxed
+		p.foldSupervision(rep, srep)
+		if errors.Is(err, sat.ErrBudgetExhausted) {
+			return p.degradeStage3(rep, inst, lastGood, round)
+		}
 		if errors.Is(err, smt.ErrNoMapping) {
+			// Recovery is disabled or ran out of slack: fall back to
+			// the §4.3 anomaly-isolation path unchanged.
 			culprit, cerr := p.isolateCulprit(ctx, inst, exps)
 			if cerr != nil {
 				return cerr
@@ -61,7 +80,17 @@ func (p *Pipeline) stage3(ctx context.Context, rep *Report) error {
 		if err != nil {
 			return err
 		}
-		other, err := inst.FindOtherMappingContext(ctx, exps, m1, p.Opts.MaxExpDistinct, p.Opts.MaxExpTotal, p.Opts.MaxCandidates)
+		lastGood = m1
+		other, err := inst.FindOtherMappingBudget(ctx, exps, m1, p.Opts.MaxExpDistinct, p.Opts.MaxExpTotal, p.Opts.MaxCandidates, p.queryBudget())
+		if errors.Is(err, sat.ErrBudgetExhausted) {
+			// The current mapping is consistent, just not proven
+			// unique within bounds; accept it and say so.
+			rep.Supervision.BudgetStops++
+			p.logf("stage 3: solver budget exhausted during uniqueness search after %d rounds; accepting current mapping", round)
+			p.finishStage3(rep, inst, m1)
+			rep.CEGARRounds = round
+			return nil
+		}
 		if err != nil {
 			return err
 		}
@@ -87,13 +116,111 @@ func (p *Pipeline) stage3(ctx context.Context, rep *Report) error {
 				other.T1, other.T2),
 		})
 	}
-	// Budget exhausted: accept the last consistent mapping.
-	m1, err := inst.FindMappingContext(ctx, exps)
+	// Round budget exhausted: accept the last consistent mapping.
+	m1, relaxed, srep, err := inst.FindMappingSupervised(ctx, exps, p.superviseOpts(ctx))
+	exps = relaxed
+	_ = exps
+	p.foldSupervision(rep, srep)
+	if errors.Is(err, sat.ErrBudgetExhausted) {
+		return p.degradeStage3(rep, inst, lastGood, p.Opts.MaxCEGARRounds)
+	}
 	if err != nil {
 		return err
 	}
 	p.finishStage3(rep, inst, m1)
 	rep.CEGARRounds = p.Opts.MaxCEGARRounds
+	return nil
+}
+
+// queryBudget returns a fresh copy of the configured per-query solver
+// budget, or nil when the options leave it unlimited.
+func (p *Pipeline) queryBudget() *sat.Budget {
+	b := p.Opts.SolverBudget
+	if b.MaxConflicts == 0 && b.MaxPropagations == 0 && b.MaxDecisions == 0 && b.Deadline.IsZero() {
+		return nil
+	}
+	return &sat.Budget{
+		MaxConflicts:    b.MaxConflicts,
+		MaxPropagations: b.MaxPropagations,
+		MaxDecisions:    b.MaxDecisions,
+		Deadline:        b.Deadline,
+	}
+}
+
+// superviseOpts assembles the supervision configuration of one solver
+// query: the per-query budget, the recovery bounds, measurement
+// quality from the engine's cached quality records, and — when
+// recovery is enabled — re-measurement through the engine.
+func (p *Pipeline) superviseOpts(ctx context.Context) smt.SuperviseOptions {
+	opts := smt.SuperviseOptions{
+		Budget:    p.queryBudget(),
+		MaxSlack:  p.Opts.MaxSlack,
+		SlackStep: p.Opts.SlackStep,
+		Log:       p.Opts.Log,
+		QualityOf: func(e portmodel.Experiment) float64 {
+			// Cache hit for anything stage 3 measured; the robust
+			// spread ranks trustworthiness.
+			r, err := p.H.Engine.Measure(ctx, e)
+			if err != nil {
+				return 0
+			}
+			return r.Quality.Spread
+		},
+	}
+	if p.Opts.MaxSlack > 0 {
+		opts.Remeasure = func(ctx context.Context, e portmodel.Experiment) (float64, error) {
+			r, err := p.H.Engine.Remeasure(ctx, e)
+			if err != nil {
+				return 0, err
+			}
+			return r.InvThroughput, nil
+		}
+	}
+	return opts
+}
+
+// foldSupervision merges one supervised query's report into the
+// run-level summary, deriving the Relaxed scheme list from the
+// relaxations' canonical experiment keys.
+func (p *Pipeline) foldSupervision(rep *Report, srep *smt.SupervisionReport) {
+	if srep == nil {
+		return
+	}
+	sup := rep.Supervision
+	sup.Cores = append(sup.Cores, srep.Cores...)
+	sup.Relaxations = append(sup.Relaxations, srep.Relaxations...)
+	if srep.BudgetExhausted {
+		sup.BudgetStops++
+	}
+	for _, rx := range srep.Relaxations {
+		exp, err := persist.ParseCanonicalKey(rx.Key)
+		if err != nil {
+			continue
+		}
+		for k := range exp {
+			rep.Relaxed = appendUnique(rep.Relaxed, k)
+		}
+	}
+	sort.Strings(rep.Relaxed)
+}
+
+// degradeStage3 accepts the best partial result when the solver budget
+// runs out mid-CEGAR: the last consistent mapping when one exists,
+// otherwise an empty blocker mapping with every blocker flagged
+// Unresolved — stage 4 then degrades in turn instead of the run dying.
+func (p *Pipeline) degradeStage3(rep *Report, inst *smt.Instance, lastGood *portmodel.Mapping, round int) error {
+	rep.CEGARRounds = round
+	if lastGood != nil {
+		p.logf("stage 3: solver budget exhausted after %d rounds; degrading to last consistent mapping", round)
+		p.finishStage3(rep, inst, lastGood)
+		return nil
+	}
+	p.logf("stage 3: solver budget exhausted before any consistent mapping; all %d blockers unresolved", len(inst.SortedKeys()))
+	for _, k := range inst.SortedKeys() {
+		rep.Unresolved = appendUnique(rep.Unresolved, k)
+	}
+	sort.Strings(rep.Unresolved)
+	p.finishStage3(rep, inst, portmodel.NewMapping(p.Opts.NumPorts))
 	return nil
 }
 
@@ -322,7 +449,7 @@ func instPortCount(inst *smt.Instance, key string) int {
 // subInstance restricts an instance to the given keys, dropping tie
 // constraints (a relaxation, so UNSAT sub-problems are genuine).
 func subInstance(inst *smt.Instance, keys map[string]bool) *smt.Instance {
-	out := &smt.Instance{NumPorts: inst.NumPorts, Rmax: inst.Rmax, Epsilon: inst.Epsilon}
+	out := &smt.Instance{NumPorts: inst.NumPorts, Rmax: inst.Rmax, Epsilon: inst.Epsilon, Telemetry: inst.Telemetry}
 	for _, u := range inst.Uops {
 		if keys[u.Key] {
 			u.TiedToBlocker = false

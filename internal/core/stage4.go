@@ -34,9 +34,6 @@ type runResult struct {
 // and accepts a result only when a majority of runs agree (§4.4).
 func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 	blockers := p.stage4Blockers(rep)
-	if len(blockers) == 0 {
-		return fmt.Errorf("no usable blocking instructions")
-	}
 
 	// Collect the schemes to characterize: measured, not excluded,
 	// not blockers themselves.
@@ -55,6 +52,21 @@ func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 		todo = append(todo, key)
 	}
 	sort.Strings(todo)
+
+	if len(blockers) == 0 {
+		// Degraded stage 3 (or a pathological ISA) left no usable
+		// blocking suite. Emit what we do have — the blocker mapping
+		// and the no-port schemes — and flag everything else
+		// Unresolved instead of failing the whole run; a resumed run
+		// retries exactly these schemes.
+		p.logf("stage 4: no usable blocking instructions; leaving %d scheme(s) unresolved", len(todo))
+		for _, key := range todo {
+			rep.Unresolved = appendUnique(rep.Unresolved, key)
+		}
+		sort.Strings(rep.Unresolved)
+		rep.Final = p.assembleFinal(rep)
+		return nil
+	}
 
 	runs := p.Opts.CharacterizeRuns
 	if runs < 1 {
@@ -114,9 +126,28 @@ func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 		}
 	}
 
+	for _, key := range p.voteCharacterization(rep, todo, results, runs) {
+		// A scheme whose runs never reached a majority is excluded
+		// from the mapping (§4.4) *and* flagged Unresolved, so a
+		// resumed run retries it with fresh measurements instead of
+		// silently accepting the hole.
+		rep.Excluded[key] = ExclCharUnstable
+		rep.Unresolved = appendUnique(rep.Unresolved, key)
+	}
+	sort.Strings(rep.Unresolved)
+
+	rep.Final = p.assembleFinal(rep)
+	return nil
+}
+
+// voteCharacterization applies the §4.4 majority vote over the runs'
+// results and commits the winners into rep.Characterized (plus the
+// spurious-µop flag). It returns the keys whose runs never produced a
+// majority; the caller decides how those degrade.
+func (p *Pipeline) voteCharacterization(rep *Report, todo []string, results map[string][]runResult, runs int) []string {
+	var failed []string
 	for _, key := range todo {
 		rs := results[key]
-		// Majority vote over agreeing runs.
 		bestCount, bestIdx := 0, -1
 		for i, a := range rs {
 			if !a.ok {
@@ -133,7 +164,7 @@ func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 			}
 		}
 		if bestIdx == -1 || bestCount*2 <= runs {
-			rep.Excluded[key] = ExclCharUnstable
+			failed = append(failed, key)
 			continue
 		}
 		usage := foundToUsage(rs[bestIdx].found)
@@ -142,11 +173,16 @@ func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 		// op counter plus the postulate explain — the microcode
 		// sequencer artifact.
 		if usage.TotalUops() > rep.Info[key].UopsPostulated {
-			rep.Spurious = append(rep.Spurious, key)
+			rep.Spurious = appendUnique(rep.Spurious, key)
 		}
 	}
+	return failed
+}
 
-	// Assemble the final mapping.
+// assembleFinal builds the final mapping from the blocker mapping, the
+// characterized schemes, and the no-port schemes. Unresolved schemes
+// are simply absent — partial rather than wrong.
+func (p *Pipeline) assembleFinal(rep *Report) *portmodel.Mapping {
 	final := portmodel.NewMapping(p.Opts.NumPorts)
 	for key, u := range rep.BlockerMapping.Usage {
 		final.Set(key, u)
@@ -159,8 +195,7 @@ func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 			final.Set(key, portmodel.Usage{})
 		}
 	}
-	rep.Final = final
-	return nil
+	return final
 }
 
 // stage4Blockers selects the usable blockers from the CEGAR result:

@@ -245,6 +245,9 @@ type Metrics struct {
 	// BackoffWait is the cumulative time spent sleeping between
 	// transient-error retries.
 	BackoffWait time.Duration
+	// Remeasured counts forced re-measurements of already-cached
+	// experiments (the solver supervision's inconsistency recovery).
+	Remeasured uint64
 }
 
 // Engine executes measurement batches over a worker pool with a
@@ -323,6 +326,7 @@ type Engine struct {
 	maxSpread   atomic.Uint64 // float64 bits, CAS-maxed
 	spreadSum   atomic.Uint64 // float64 bits, CAS-added
 	backoffNano atomic.Int64
+	remeasured  atomic.Uint64
 }
 
 // call is one in-flight execution other submitters can wait on.
@@ -885,6 +889,7 @@ func (g *Engine) Metrics() Metrics {
 		LowConfidence:   g.lowConfN.Load(),
 		MaxSpread:       math.Float64frombits(g.maxSpread.Load()),
 		BackoffWait:     time.Duration(g.backoffNano.Load()),
+		Remeasured:      g.remeasured.Load(),
 	}
 	if m.Executed > 0 {
 		m.MeanSpread = math.Float64frombits(g.spreadSum.Load()) / float64(m.Executed)
@@ -993,6 +998,50 @@ func (g *Engine) WarmCache(results map[string]Result) {
 			}
 		}
 	}
+}
+
+// Remeasure forces a fresh execution of the experiment, bypassing and
+// then replacing the cache entry for its key. It exists for the solver
+// supervision's inconsistency recovery: when an UNSAT core blames a
+// measurement, re-running it gives the corrupted value a chance to
+// heal before any error bound is relaxed.
+//
+// The returned result's summary statistics (InvThroughput, CPI,
+// spreads) come from the fresh samples alone, but Runs is cumulative:
+// it adds the replaced cache entry's Runs so the persisted record for
+// this (generation, key) — which last-wins over the one it replaces —
+// still carries the key's total successful-execution count, keeping
+// crash-resume exec-count replay exact. Remeasure is meant for the
+// sequential solver-recovery path; it must not race a batch that
+// measures the same key.
+func (g *Engine) Remeasure(ctx context.Context, e portmodel.Experiment) (Result, error) {
+	if e.Len() == 0 {
+		return Result{}, fmt.Errorf("engine: empty experiment")
+	}
+	key := CanonicalKey(e)
+	res, err := g.execute(ctx, e)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			g.canceled.Add(1)
+		}
+		return Result{}, err
+	}
+	g.mu.Lock()
+	if prior, ok := g.cache[key]; ok {
+		res.Runs += prior.Runs
+	}
+	g.cache[key] = res
+	if res.Quality.LowConfidence {
+		g.noteLowConfLocked(key, res.Quality)
+	}
+	gen := g.gen
+	g.mu.Unlock()
+	if g.Persist != nil {
+		g.Persist.Record(gen, key, res)
+	}
+	g.executed.Add(1)
+	g.remeasured.Add(1)
+	return res, nil
 }
 
 // median returns the median of xs (xs is reordered).

@@ -220,3 +220,75 @@ func TestFingerprintCoversMeasurementConfig(t *testing.T) {
 		t.Error("fingerprint depends on the worker count")
 	}
 }
+
+// TestRemeasure: a forced re-measurement executes fresh samples,
+// replaces the cache entry, and records a cumulative Runs total so
+// exec-count replay of the persisted record stays exact.
+func TestRemeasure(t *testing.T) {
+	p := newSeqProc()
+	g := engine.New(p)
+	h := newMemHook()
+	g.Persist = h
+	e := portmodel.Exp("a")
+	ctx := context.Background()
+
+	first, err := g.Measure(ctx, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callsBefore := p.calls.Load()
+
+	second, err := g.Remeasure(ctx, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := int(p.calls.Load() - callsBefore)
+	if fresh == 0 {
+		t.Fatal("Remeasure did not touch the processor")
+	}
+	if second.Runs != first.Runs+fresh {
+		t.Fatalf("Runs = %d, want %d prior + %d fresh", second.Runs, first.Runs, fresh)
+	}
+
+	// The cache now answers with the re-measured result.
+	again, err := g.Measure(ctx, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Runs != second.Runs || again.InvThroughput != second.InvThroughput {
+		t.Fatalf("cache kept the old result: %+v vs %+v", again, second)
+	}
+
+	// The persisted record carries the cumulative total.
+	rec, ok := h.Generation(g.CacheGeneration())["1*a"]
+	if !ok {
+		t.Fatal("no persisted record for the key")
+	}
+	if rec.Runs != second.Runs {
+		t.Fatalf("persisted Runs = %d, want %d", rec.Runs, second.Runs)
+	}
+
+	m := g.Metrics()
+	if m.Remeasured != 1 {
+		t.Fatalf("Remeasured = %d, want 1", m.Remeasured)
+	}
+	if m.Executed != 2 {
+		t.Fatalf("Executed = %d, want 2 (initial + forced)", m.Executed)
+	}
+}
+
+// TestRemeasureUncachedKey: re-measuring a never-measured experiment
+// degrades to a plain first measurement.
+func TestRemeasureUncachedKey(t *testing.T) {
+	g := engine.New(newSeqProc())
+	res, err := g.Remeasure(context.Background(), portmodel.Exp("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == 0 || res.InvThroughput == 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+	if _, err := g.Remeasure(context.Background(), portmodel.Experiment{}); err == nil {
+		t.Fatal("empty experiment accepted")
+	}
+}

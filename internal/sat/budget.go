@@ -1,0 +1,120 @@
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBudgetExhausted is the sentinel matched by errors.Is when a
+// Solve call stops because its Budget ran out. The concrete error is
+// always a *BudgetError naming the exhausted resource.
+var ErrBudgetExhausted = errors.New("sat: solver budget exhausted")
+
+// BudgetError reports which budget dimension a query exhausted.
+type BudgetError struct {
+	// Resource is the exhausted dimension: "conflicts",
+	// "propagations", "decisions", or "deadline".
+	Resource string
+	// Limit and Used are the configured bound and the accumulated
+	// consumption at the point the solver gave up (zero for
+	// "deadline").
+	Limit, Used uint64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	if e.Resource == "deadline" {
+		return "sat: solver budget exhausted: wall deadline passed"
+	}
+	return fmt.Sprintf("sat: solver budget exhausted: %s %d/%d", e.Resource, e.Used, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrBudgetExhausted) match.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExhausted }
+
+// Budget bounds the work of one logical query. A single Budget value
+// is typically shared across every Solve call of one DPLL(T)
+// refinement loop, so the limits cover the whole query, not each SAT
+// sub-search. Zero-valued fields mean "unlimited"; the zero Budget
+// never exhausts.
+//
+// The count limits (conflicts, propagations, decisions) are
+// deterministic: the solver consults them only at restart boundaries
+// and on Solve entry, so for a fixed formula the search always stops
+// at the same point regardless of wall-clock speed. The Deadline is
+// inherently wall-clock and therefore not reproducible; it exists as
+// the last-resort bound for queries whose count limits were
+// misjudged.
+type Budget struct {
+	// MaxConflicts bounds the total conflicts across the query.
+	MaxConflicts uint64
+	// MaxPropagations bounds the total unit propagations.
+	MaxPropagations uint64
+	// MaxDecisions bounds the total branching decisions.
+	MaxDecisions uint64
+	// Deadline, if non-zero, is the wall-clock instant after which
+	// the query is abandoned (checked at restart boundaries).
+	Deadline time.Time
+
+	conflicts, propagations, decisions uint64
+}
+
+// Used returns the accumulated consumption so far.
+func (b *Budget) Used() (conflicts, propagations, decisions uint64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	return b.conflicts, b.propagations, b.decisions
+}
+
+// add charges consumption deltas against the budget.
+func (b *Budget) add(dc, dp, dd uint64) {
+	b.conflicts += dc
+	b.propagations += dp
+	b.decisions += dd
+}
+
+// check returns a *BudgetError when any limit is exceeded, nil
+// otherwise. A nil budget never exhausts.
+func (b *Budget) check() error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxConflicts > 0 && b.conflicts >= b.MaxConflicts {
+		return &BudgetError{Resource: "conflicts", Limit: b.MaxConflicts, Used: b.conflicts}
+	}
+	if b.MaxPropagations > 0 && b.propagations >= b.MaxPropagations {
+		return &BudgetError{Resource: "propagations", Limit: b.MaxPropagations, Used: b.propagations}
+	}
+	if b.MaxDecisions > 0 && b.decisions >= b.MaxDecisions {
+		return &BudgetError{Resource: "decisions", Limit: b.MaxDecisions, Used: b.decisions}
+	}
+	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+		return &BudgetError{Resource: "deadline"}
+	}
+	return nil
+}
+
+// Stats is a snapshot of a solver's lifetime counters.
+type Stats struct {
+	// Propagations, Conflicts, Decisions count the core CDCL events.
+	Propagations uint64 `json:"propagations"`
+	Conflicts    uint64 `json:"conflicts"`
+	Decisions    uint64 `json:"decisions"`
+	// Restarts counts Luby restarts.
+	Restarts uint64 `json:"restarts"`
+	// Learned counts clauses learned from conflict analysis.
+	Learned uint64 `json:"learned"`
+}
+
+// StatsSnapshot returns the solver's lifetime counters.
+func (s *Solver) StatsSnapshot() Stats {
+	return Stats{
+		Propagations: s.propagations,
+		Conflicts:    s.conflicts,
+		Decisions:    s.decisions,
+		Restarts:     s.restarts,
+		Learned:      s.learnedN,
+	}
+}

@@ -10,6 +10,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -116,6 +117,15 @@ type Solver struct {
 	propagations uint64
 	conflicts    uint64
 	decisions    uint64
+	restarts     uint64
+	learnedN     uint64
+
+	// failedAssumptions is the final-conflict core of the last
+	// assumption-based Solve that returned Unsat: a subset of the
+	// assumption literals that is already inconsistent with the
+	// clause set. Nil when the last Unsat was independent of the
+	// assumptions (the formula itself is unsatisfiable).
+	failedAssumptions []Lit
 
 	rootUnsat bool
 }
@@ -398,15 +408,59 @@ func luby(i int) int {
 }
 
 // Solve determines satisfiability of the clause set under the given
-// assumption literals. On Sat, Model reports variable values.
+// assumption literals. On Sat, Model reports variable values. It is
+// SolveBudget with no cancellation and no budget.
 func (s *Solver) Solve(assumptions ...Lit) Result {
+	r, _ := s.SolveBudget(context.Background(), nil, assumptions...)
+	return r
+}
+
+// SolveBudget is Solve under supervision: the search observes ctx and
+// charges its conflicts/propagations/decisions against budget (nil =
+// unlimited). Both are consulted only on entry and at Luby restart
+// boundaries, so for the count limits the stopping point is a
+// deterministic function of the formula, not of wall-clock speed.
+// When the search is stopped early the solver backtracks to the root
+// and returns (Unknown, err) where err is the ctx error or a
+// *BudgetError matching ErrBudgetExhausted; the solver remains usable
+// (clauses learned so far are kept, and a later call resumes cheaper).
+//
+// On Unsat under assumptions, FailedAssumptions reports the
+// final-conflict core.
+func (s *Solver) SolveBudget(ctx context.Context, budget *Budget, assumptions ...Lit) (Result, error) {
+	s.failedAssumptions = nil
 	if s.rootUnsat {
-		return Unsat
+		return Unsat, nil
 	}
+
+	// lastC/lastP/lastD are the counter values already charged to the
+	// budget; settle charges only the delta since the previous call so
+	// one shared Budget can supervise many Solve calls cumulatively.
+	lastC, lastP, lastD := s.conflicts, s.propagations, s.decisions
+	settle := func() {
+		if budget != nil {
+			budget.add(s.conflicts-lastC, s.propagations-lastP, s.decisions-lastD)
+			lastC, lastP, lastD = s.conflicts, s.propagations, s.decisions
+		}
+	}
+	defer settle()
+	supervise := func() error {
+		settle()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return budget.check()
+	}
+
+	if err := supervise(); err != nil {
+		s.backtrackTo(0)
+		return Unknown, err
+	}
+
 	s.backtrackTo(0)
 	if s.propagate() != nil {
 		s.rootUnsat = true
-		return Unsat
+		return Unsat, nil
 	}
 
 	restartNum := 1
@@ -420,19 +474,20 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 			conflictsHere++
 			if s.decisionLevel() == 0 {
 				s.rootUnsat = true
-				return Unsat
+				return Unsat, nil
 			}
 			learned, bjLevel := s.analyze(confl)
 			s.backtrackTo(bjLevel)
 			if len(learned) == 1 {
 				if !s.enqueue(learned[0], nil) {
 					s.rootUnsat = true
-					return Unsat
+					return Unsat, nil
 				}
 			} else {
 				c := &clause{lits: learned, learned: true}
 				s.attach(c)
 				s.clauses = append(s.clauses, c)
+				s.learnedN++
 				s.enqueue(learned[0], c)
 			}
 			s.decayVar()
@@ -440,11 +495,17 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		}
 
 		if conflictsHere >= conflictBudget {
-			// Restart.
+			// Restart boundary: the only supervision point inside the
+			// search, so count-limited and cancelled queries always
+			// stop at a Luby-aligned state.
+			s.restarts++
 			restartNum++
 			conflictBudget = 64 * luby(restartNum)
 			conflictsHere = 0
 			s.backtrackTo(0)
+			if err := supervise(); err != nil {
+				return Unknown, err
+			}
 			continue
 		}
 
@@ -453,7 +514,10 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		for _, a := range assumptions {
 			switch s.value(a) {
 			case lFalse:
-				return Unsat // assumption conflicts (no final-clause analysis needed here)
+				// The trail falsifies assumption a: extract which
+				// assumptions that falsification depended on.
+				s.failedAssumptions = s.analyzeFinal(a)
+				return Unsat, nil
 			case lUndef:
 				assumptionsOK = false
 				s.trailLl = append(s.trailLl, len(s.trail))
@@ -469,12 +533,59 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 
 		v := s.pickBranchVar()
 		if v == -1 {
-			return Sat
+			return Sat, nil
 		}
 		s.decisions++
 		s.trailLl = append(s.trailLl, len(s.trail))
 		s.enqueue(NewLit(v+1, !s.polarity[v]), nil)
 	}
+}
+
+// FailedAssumptions returns the final-conflict core of the last Solve
+// that returned Unsat under assumptions: a subset of the assumption
+// literals already inconsistent with the clause set. Nil when the
+// formula is unsatisfiable on its own (no assumptions implicated).
+// The core is sound but not necessarily minimal.
+func (s *Solver) FailedAssumptions() []Lit {
+	if s.failedAssumptions == nil {
+		return nil
+	}
+	return append([]Lit(nil), s.failedAssumptions...)
+}
+
+// analyzeFinal computes the subset of assumption literals implied in
+// falsifying assumption p (MiniSat's analyzeFinal): it walks the
+// implication graph from ¬p back to the decisions it depends on. At
+// the point Solve detects a false assumption, every reason-free trail
+// literal above level 0 is an enqueued assumption, so exactly those
+// are collected.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	core := []Lit{p}
+	if s.decisionLevel() == 0 {
+		// ¬p is a root consequence of the clause set: p alone is
+		// inconsistent with the formula.
+		return core
+	}
+	seen := make([]bool, s.numVars)
+	seen[p.Var()-1] = true
+	bound := s.trailLl[0]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var() - 1
+		if !seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			core = append(core, s.trail[i])
+		} else {
+			for _, q := range s.reason[v].lits[1:] {
+				if s.level[q.Var()-1] > 0 {
+					seen[q.Var()-1] = true
+				}
+			}
+		}
+		seen[v] = false
+	}
+	return core
 }
 
 // Model returns the value of variable v in the last satisfying

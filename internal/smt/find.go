@@ -18,26 +18,97 @@ var ErrNoMapping = errors.New("smt: no port mapping is consistent with the exper
 // maxTheoryIterations bounds the DPLL(T) refinement loop per query.
 const maxTheoryIterations = 200000
 
+// QueryStats accumulates solver telemetry across SMT queries. Attach
+// one to Instance.Telemetry to have every FindMapping/FindOtherMapping
+// call (including sub-instance solves sharing the pointer) fold its
+// CDCL counters, theory iterations, and lemma counts into it.
+type QueryStats struct {
+	// Queries counts FindMapping/FindOtherMapping executions.
+	Queries uint64 `json:"queries"`
+	// TheoryIterations counts DPLL(T) refinement iterations.
+	TheoryIterations uint64 `json:"theory_iterations"`
+	// LemmasLearned counts generalized theory lemmas learned.
+	LemmasLearned uint64 `json:"lemmas_learned"`
+	// BudgetExhausted counts queries stopped by the solver budget.
+	BudgetExhausted uint64 `json:"budget_exhausted,omitempty"`
+	// Solver totals the CDCL counters of every query's SAT solver.
+	Solver sat.Stats `json:"solver"`
+}
+
+// Add folds another accumulator into this one.
+func (q *QueryStats) Add(o QueryStats) {
+	q.Queries += o.Queries
+	q.TheoryIterations += o.TheoryIterations
+	q.LemmasLearned += o.LemmasLearned
+	q.BudgetExhausted += o.BudgetExhausted
+	q.Solver.Propagations += o.Solver.Propagations
+	q.Solver.Conflicts += o.Solver.Conflicts
+	q.Solver.Decisions += o.Solver.Decisions
+	q.Solver.Restarts += o.Solver.Restarts
+	q.Solver.Learned += o.Solver.Learned
+}
+
+// noteQuery folds one finished query's solver counters into the
+// instance telemetry.
+func (in *Instance) noteQuery(enc *encoding, iters, lemmas0 int, budgetStopped bool) {
+	q := in.Telemetry
+	if q == nil {
+		return
+	}
+	q.Queries++
+	q.TheoryIterations += uint64(iters)
+	if n := len(in.lemmas) - lemmas0; n > 0 {
+		q.LemmasLearned += uint64(n)
+	}
+	if budgetStopped {
+		q.BudgetExhausted++
+	}
+	st := enc.s.StatsSnapshot()
+	q.Solver.Propagations += st.Propagations
+	q.Solver.Conflicts += st.Conflicts
+	q.Solver.Decisions += st.Decisions
+	q.Solver.Restarts += st.Restarts
+	q.Solver.Learned += st.Learned
+}
+
 // FindMapping searches a port mapping consistent with all measured
 // experiments (the paper's findMapping, §3.3.3). It returns
 // ErrNoMapping if the observations contradict the model.
 func (in *Instance) FindMapping(exps []MeasuredExp) (*portmodel.Mapping, error) {
-	return in.FindMappingContext(context.Background(), exps)
+	return in.FindMappingBudget(context.Background(), exps, nil)
 }
 
-// FindMappingContext is FindMapping with cancellation: the DPLL(T)
-// refinement loop checks ctx between iterations and returns ctx.Err()
-// when it fires.
+// FindMappingContext is FindMapping with cancellation: ctx is checked
+// between DPLL(T) iterations and — through the CDCL loop's restart
+// boundaries — inside each SAT search, so a hung query honors its
+// deadline.
 func (in *Instance) FindMappingContext(ctx context.Context, exps []MeasuredExp) (*portmodel.Mapping, error) {
+	return in.FindMappingBudget(ctx, exps, nil)
+}
+
+// FindMappingBudget is FindMappingContext under a solver budget shared
+// by every SAT search of the query's refinement loop. When the budget
+// runs out the query stops with an error matching
+// sat.ErrBudgetExhausted instead of spinning; nil budget means
+// unlimited.
+func (in *Instance) FindMappingBudget(ctx context.Context, exps []MeasuredExp, budget *sat.Budget) (*portmodel.Mapping, error) {
 	enc, err := in.encode(true)
 	if err != nil {
 		return nil, err
 	}
-	for iter := 0; iter < maxTheoryIterations; iter++ {
+	iters, lemmas0, budgetStopped := 0, len(in.lemmas), false
+	defer func() { in.noteQuery(enc, iters, lemmas0, budgetStopped) }()
+	for iters < maxTheoryIterations {
+		iters++
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if enc.s.Solve() != sat.Sat {
+		r, err := enc.s.SolveBudget(ctx, budget)
+		if err != nil {
+			budgetStopped = errors.Is(err, sat.ErrBudgetExhausted)
+			return nil, err
+		}
+		if r != sat.Sat {
 			return nil, ErrNoMapping
 		}
 		m, byUop := in.decode(enc)
@@ -108,16 +179,27 @@ type OtherMapping struct {
 // "stratified approach"). It returns nil if every consistent mapping
 // is indistinguishable from m1 within those bounds.
 func (in *Instance) FindOtherMapping(exps []MeasuredExp, m1 *portmodel.Mapping, maxDistinct, maxTotal, maxCandidates int) (*OtherMapping, error) {
-	return in.FindOtherMappingContext(context.Background(), exps, m1, maxDistinct, maxTotal, maxCandidates)
+	return in.FindOtherMappingBudget(context.Background(), exps, m1, maxDistinct, maxTotal, maxCandidates, nil)
 }
 
 // FindOtherMappingContext is FindOtherMapping with cancellation,
-// checking ctx between candidate-enumeration iterations.
+// checking ctx between candidate-enumeration iterations and at the
+// CDCL loop's restart boundaries.
 func (in *Instance) FindOtherMappingContext(ctx context.Context, exps []MeasuredExp, m1 *portmodel.Mapping, maxDistinct, maxTotal, maxCandidates int) (*OtherMapping, error) {
+	return in.FindOtherMappingBudget(ctx, exps, m1, maxDistinct, maxTotal, maxCandidates, nil)
+}
+
+// FindOtherMappingBudget is FindOtherMappingContext under a solver
+// budget shared by every SAT search of the enumeration (nil =
+// unlimited); exhaustion surfaces as an error matching
+// sat.ErrBudgetExhausted.
+func (in *Instance) FindOtherMappingBudget(ctx context.Context, exps []MeasuredExp, m1 *portmodel.Mapping, maxDistinct, maxTotal, maxCandidates int, budget *sat.Budget) (*OtherMapping, error) {
 	enc, err := in.encode(true)
 	if err != nil {
 		return nil, err
 	}
+	iters, lemmas0, budgetStopped := 0, len(in.lemmas), false
+	defer func() { in.noteQuery(enc, iters, lemmas0, budgetStopped) }()
 	// Pre-enumerate the candidate experiments in stratified order and
 	// evaluate m1 on each once; every examined m2 reuses them.
 	cands, err := in.candidateExps(m1, maxDistinct, maxTotal)
@@ -125,11 +207,17 @@ func (in *Instance) FindOtherMappingContext(ctx context.Context, exps []Measured
 		return nil, err
 	}
 	candidates := 0
-	for iter := 0; iter < maxTheoryIterations && candidates < maxCandidates; iter++ {
+	for iters < maxTheoryIterations && candidates < maxCandidates {
+		iters++
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if enc.s.Solve() != sat.Sat {
+		r, err := enc.s.SolveBudget(ctx, budget)
+		if err != nil {
+			budgetStopped = errors.Is(err, sat.ErrBudgetExhausted)
+			return nil, err
+		}
+		if r != sat.Sat {
 			return nil, nil
 		}
 		m2, byUop := in.decode(enc)
@@ -331,9 +419,11 @@ func (in *Instance) LemmaCount() int { return len(in.lemmas) }
 // the same instance shape).
 func (in *Instance) Reset() { in.lemmas = nil }
 
-// Clone returns a copy of the instance without learned lemmas.
+// Clone returns a copy of the instance without learned lemmas. The
+// telemetry accumulator is shared, so sub-solves on the clone count
+// toward the same query statistics.
 func (in *Instance) Clone() *Instance {
-	out := &Instance{NumPorts: in.NumPorts, Rmax: in.Rmax, Epsilon: in.Epsilon}
+	out := &Instance{NumPorts: in.NumPorts, Rmax: in.Rmax, Epsilon: in.Epsilon, Telemetry: in.Telemetry}
 	out.Uops = append([]UopSpec(nil), in.Uops...)
 	return out
 }
@@ -344,7 +434,7 @@ func (in *Instance) Clone() *Instance {
 // (their µop indices are remapped), so repeated sub-problem solves
 // stay cheap.
 func (in *Instance) Without(keys map[string]bool) *Instance {
-	out := &Instance{NumPorts: in.NumPorts, Rmax: in.Rmax, Epsilon: in.Epsilon}
+	out := &Instance{NumPorts: in.NumPorts, Rmax: in.Rmax, Epsilon: in.Epsilon, Telemetry: in.Telemetry}
 	remap := make([]int, len(in.Uops))
 	for i, u := range in.Uops {
 		if keys[u.Key] {
@@ -365,7 +455,7 @@ func (in *Instance) Without(keys map[string]bool) *Instance {
 		if !keep {
 			continue
 		}
-		nl := lemma{src: lem.src}
+		nl := lemma{src: lem.src, slack: lem.slack}
 		ok := true
 		for _, l := range lem.lits {
 			if remap[l.uop] < 0 {

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"fmt"
+	"math"
 
 	"zenport/internal/portmodel"
 )
@@ -20,6 +21,12 @@ type LemmaLitRecord struct {
 type LemmaRecord struct {
 	Lits []LemmaLitRecord     `json:"lits"`
 	Src  portmodel.Experiment `json:"src"`
+	// Slack is the source experiment's tolerance slack at learning
+	// time. A lemma restored into a run whose experiment carries less
+	// slack stays sound (the tighter bound excludes at least as much);
+	// more slack would invalidate it, which the supervision layer
+	// prevents by dropping an experiment's lemmas on every relaxation.
+	Slack float64 `json:"slack,omitempty"`
 }
 
 // LemmaRecords exports the instance's accumulated theory lemmas for
@@ -32,7 +39,7 @@ func (in *Instance) LemmaRecords() []LemmaRecord {
 		for j, l := range lem.lits {
 			lits[j] = LemmaLitRecord{Uop: l.uop, Port: l.port, Neg: l.neg}
 		}
-		out[i] = LemmaRecord{Lits: lits, Src: lem.src.Clone()}
+		out[i] = LemmaRecord{Lits: lits, Src: lem.src.Clone(), Slack: lem.slack}
 	}
 	return out
 }
@@ -48,6 +55,9 @@ func (in *Instance) RestoreLemmas(recs []LemmaRecord) error {
 		if len(rec.Lits) == 0 {
 			return fmt.Errorf("smt: lemma %d: empty clause", i)
 		}
+		if math.IsNaN(rec.Slack) || math.IsInf(rec.Slack, 0) || rec.Slack < 0 {
+			return fmt.Errorf("smt: lemma %d: invalid slack %v", i, rec.Slack)
+		}
 		lits := make([]lemmaLit, len(rec.Lits))
 		for j, l := range rec.Lits {
 			if l.Uop < 0 || l.Uop >= len(in.Uops) {
@@ -58,7 +68,7 @@ func (in *Instance) RestoreLemmas(recs []LemmaRecord) error {
 			}
 			lits[j] = lemmaLit{uop: l.Uop, port: l.Port, neg: l.Neg}
 		}
-		restored = append(restored, lemma{lits: lits, src: rec.Src.Clone()})
+		restored = append(restored, lemma{lits: lits, src: rec.Src.Clone(), slack: rec.Slack})
 	}
 	in.lemmas = restored
 	return nil

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"zenport/internal/portmodel"
 	"zenport/internal/sat"
@@ -68,12 +69,26 @@ type Instance struct {
 	// remains in the measured set, and is re-asserted into every
 	// fresh SAT solver.
 	lemmas []lemma
+
+	// Telemetry, if non-nil, accumulates per-query solver statistics
+	// across FindMapping/FindOtherMapping calls (and the sub-instance
+	// solves derived via Clone/Without, which share the pointer). Not
+	// safe for concurrent queries.
+	Telemetry *QueryStats
 }
 
 // MeasuredExp is an experiment with its measured inverse throughput.
 type MeasuredExp struct {
 	Exp  portmodel.Experiment
 	TInv float64
+	// Slack widens this experiment's acceptance tolerance beyond the
+	// instance Epsilon: the mapping must satisfy
+	// |max(tp_M(e), |e|/Rmax) − t| ≤ (ε + Slack)·|e|. Zero for normal
+	// experiments; the supervision layer raises it on the members of a
+	// minimal conflicting core to recover from inconsistent
+	// measurements (PMEvo and PALMED tolerate noisy observations the
+	// same way — as soft constraints rather than hard ones).
+	Slack float64
 }
 
 // lemmaLit is a solver-independent literal: µop index, port, sign.
@@ -85,10 +100,14 @@ type lemmaLit struct {
 
 // lemma is a learned theory clause together with the experiment it
 // was derived from (the lemma is sound only while that experiment is
-// part of the measured set).
+// part of the measured set). slack records the source experiment's
+// Slack at learning time: widening the tolerance afterwards
+// invalidates the lemma (a mapping it excludes may now be acceptable),
+// so relaxation must drop the experiment's lemmas via DropLemmasFrom.
 type lemma struct {
-	lits []lemmaLit
-	src  portmodel.Experiment
+	lits  []lemmaLit
+	src   portmodel.Experiment
+	slack float64
 }
 
 // keys returns the distinct instruction keys of the instance.
@@ -134,6 +153,14 @@ type encoding struct {
 // when extra constraints (e.g. hard-wiring a mapping) are not
 // permutation-invariant.
 func (in *Instance) encode(breakSymmetry bool) (*encoding, error) {
+	return in.encodeWith(breakSymmetry, true)
+}
+
+// encodeWith is encode with the lemma re-assertion made optional: the
+// UNSAT-core extractor asserts lemmas itself, each guarded by its
+// source experiment's selector variable, so it needs the bare boolean
+// structure.
+func (in *Instance) encodeWith(breakSymmetry, withLemmas bool) (*encoding, error) {
 	s := sat.NewSolver()
 	nu, np := len(in.Uops), in.NumPorts
 	enc := &encoding{s: s, mvar: make([][]int, nu)}
@@ -196,13 +223,15 @@ func (in *Instance) encode(breakSymmetry bool) (*encoding, error) {
 		}
 	}
 	// Re-assert accumulated theory lemmas.
-	for _, lem := range in.lemmas {
-		clause := make([]sat.Lit, len(lem.lits))
-		for i, l := range lem.lits {
-			clause[i] = sat.NewLit(enc.mvar[l.uop][l.port], l.neg)
-		}
-		if err := s.AddClause(clause...); err != nil && err != sat.ErrTrivialUnsat {
-			return nil, err
+	if withLemmas {
+		for _, lem := range in.lemmas {
+			clause := make([]sat.Lit, len(lem.lits))
+			for i, l := range lem.lits {
+				clause[i] = sat.NewLit(enc.mvar[l.uop][l.port], l.neg)
+			}
+			if err := s.AddClause(clause...); err != nil && err != sat.ErrTrivialUnsat {
+				return nil, err
+			}
 		}
 	}
 	return enc, nil
@@ -316,7 +345,7 @@ func (in *Instance) checkExps(m *portmodel.Mapping, exps []MeasuredExp) ([]viola
 		if err != nil {
 			return nil, err
 		}
-		tol := in.Epsilon * float64(me.Exp.Len())
+		tol := (in.Epsilon + me.Slack) * float64(me.Exp.Len())
 		switch {
 		case t > me.TInv+tol:
 			out = append(out, violation{idx: i, tooSlow: true})
@@ -334,9 +363,9 @@ func (in *Instance) learnViolations(enc *encoding, m *portmodel.Mapping, byUop [
 	for _, v := range vs {
 		var err error
 		if v.tooSlow {
-			err = in.addTooSlowLemma(m, byUop, exps[v.idx].Exp)
+			err = in.addTooSlowLemma(m, byUop, exps[v.idx].Exp, exps[v.idx].Slack)
 		} else {
-			err = in.addTooFastLemma(byUop, exps[v.idx].Exp)
+			err = in.addTooFastLemma(byUop, exps[v.idx].Exp, exps[v.idx].Slack)
 		}
 		if err != nil {
 			return err
@@ -366,7 +395,7 @@ func (in *Instance) uopIndexByKey() map[string][]int {
 // mapping, any mapping keeping every culprit µop inside Q has
 // mass(Q) at least as large and is therefore at least as slow, so
 // some culprit µop must gain a port outside Q.
-func (in *Instance) addTooSlowLemma(m *portmodel.Mapping, byUop []portmodel.PortSet, e portmodel.Experiment) error {
+func (in *Instance) addTooSlowLemma(m *portmodel.Mapping, byUop []portmodel.PortSet, e portmodel.Experiment, slack float64) error {
 	q, _, err := m.BottleneckWitness(e)
 	if err != nil {
 		return err
@@ -388,7 +417,7 @@ func (in *Instance) addTooSlowLemma(m *portmodel.Mapping, byUop []portmodel.Port
 	if len(lem) == 0 {
 		return fmt.Errorf("smt: empty too-slow lemma (measurement outside any model value)")
 	}
-	in.lemmas = append(in.lemmas, lemma{lits: lem, src: e.Clone()})
+	in.lemmas = append(in.lemmas, lemma{lits: lem, src: e.Clone(), slack: slack})
 	return nil
 }
 
@@ -397,7 +426,7 @@ func (in *Instance) addTooSlowLemma(m *portmodel.Mapping, byUop []portmodel.Port
 // any mapping whose µop port sets are supersets of the failing one is
 // also too fast; some participating µop must lose one of its current
 // ports.
-func (in *Instance) addTooFastLemma(byUop []portmodel.PortSet, e portmodel.Experiment) error {
+func (in *Instance) addTooFastLemma(byUop []portmodel.PortSet, e portmodel.Experiment, slack float64) error {
 	var lem []lemmaLit
 	for ui, spec := range in.Uops {
 		if e[spec.Key] == 0 {
@@ -412,6 +441,49 @@ func (in *Instance) addTooFastLemma(byUop []portmodel.PortSet, e portmodel.Exper
 	if len(lem) == 0 {
 		return fmt.Errorf("smt: empty too-fast lemma")
 	}
-	in.lemmas = append(in.lemmas, lemma{lits: lem, src: e.Clone()})
+	in.lemmas = append(in.lemmas, lemma{lits: lem, src: e.Clone(), slack: slack})
 	return nil
+}
+
+// sameExp reports whether two experiments are the same multiset.
+func sameExp(a, b portmodel.Experiment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpKey renders an experiment canonically ("n*key|m*key" in sorted
+// key order), matching the engine's cache identity; the supervision
+// layer uses it to name core members and relaxations.
+func ExpKey(e portmodel.Experiment) string {
+	keys := e.Keys()
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%d*%s", e[k], k))
+	}
+	return strings.Join(parts, "|")
+}
+
+// DropLemmasFrom removes every lemma derived from the given experiment
+// and returns how many were dropped. It must be called whenever an
+// experiment's TInv or Slack changes: lemmas learned under the old
+// acceptance bound may exclude mappings the new bound accepts.
+func (in *Instance) DropLemmasFrom(e portmodel.Experiment) int {
+	kept := in.lemmas[:0]
+	dropped := 0
+	for _, lem := range in.lemmas {
+		if sameExp(lem.src, e) {
+			dropped++
+			continue
+		}
+		kept = append(kept, lem)
+	}
+	in.lemmas = kept
+	return dropped
 }

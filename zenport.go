@@ -33,6 +33,7 @@ import (
 	"zenport/internal/measure"
 	"zenport/internal/persist"
 	"zenport/internal/portmodel"
+	"zenport/internal/sat"
 	"zenport/internal/smt"
 	"zenport/internal/zen"
 	"zenport/internal/zensim"
@@ -104,6 +105,24 @@ type (
 	// MeasuredExp pairs an experiment with its measured inverse
 	// throughput.
 	MeasuredExp = smt.MeasuredExp
+
+	// SolverBudget bounds one CDCL solver query (conflicts,
+	// propagations, decisions, wall deadline); the zero value is
+	// unlimited. Set Options.SolverBudget to supervise the pipeline's
+	// queries.
+	SolverBudget = sat.Budget
+	// SolverStats is a snapshot of the CDCL solver's work counters.
+	SolverStats = sat.Stats
+	// QueryStats aggregates solver telemetry across the theory-solver
+	// queries of a pipeline run or Instance.
+	QueryStats = smt.QueryStats
+	// Relaxation records one error-bound relaxation performed by
+	// UNSAT-core recovery on an inconsistent measurement.
+	Relaxation = smt.Relaxation
+	// SupervisionSummary is the run-level solver supervision report:
+	// telemetry, extracted inconsistency cores, relaxations, and
+	// budget stops.
+	SupervisionSummary = core.SupervisionSummary
 
 	// CacheStore is the crash-safe on-disk measurement cache
 	// (append-only journal + atomic snapshot) attachable to an Engine.
@@ -190,6 +209,11 @@ func OpenCache(dir, fingerprint string) (*CacheStore, error) {
 func NewCheckpointer(dir, fingerprint string) (*Checkpointer, error) {
 	return persist.NewCheckpointer(dir, fingerprint)
 }
+
+// ErrBudgetExhausted reports that a solver query stopped because its
+// SolverBudget ran out. The pipeline handles it internally by
+// degrading; it surfaces only from direct Instance queries.
+var ErrBudgetExhausted = sat.ErrBudgetExhausted
 
 // Infer runs the full four-stage inference pipeline of the paper
 // over the given schemes, measuring through the harness.
