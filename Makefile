@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race soak solver-soak verify bench clean
+.PHONY: build test vet race soak solver-soak verify bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ verify: vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-smoke compiles and runs every benchmark exactly once — a fast
+# CI guard that the experiment harness and the compiled-evaluator
+# benchmarks keep working, without measuring anything.
+bench-smoke:
+	$(GO) test -run 'TestNothing' -bench=. -benchmem -benchtime=1x .
 
 clean:
 	$(GO) clean ./...

@@ -193,6 +193,115 @@ func BenchmarkE8ToyThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledThroughput measures the compiled evaluator on the
+// same Figure 2 example as BenchmarkE8ToyThroughput: the
+// experiment-keyed (memoized) path and the dense weight-vector path
+// the SMT propagator uses. Both must report 0 allocs/op.
+func BenchmarkCompiledThroughput(b *testing.B) {
+	m := zenport.NewMapping(2)
+	u1, u2 := zenport.MakePortSet(0, 1), zenport.MakePortSet(1)
+	m.Set("add", zenport.Usage{{Ports: u1, Count: 1}})
+	m.Set("mul", zenport.Usage{{Ports: u2, Count: 1}})
+	m.Set("fma", zenport.Usage{{Ports: u1, Count: 2}, {Ports: u2, Count: 1}})
+	c, err := zenport.CompileMapping(m, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := zenport.Experiment{"mul": 2, "fma": 1}
+	b.Run("experiment", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if tp, err := c.InverseThroughput(e); err != nil || tp != 3 {
+				b.Fatalf("tp=%v err=%v", tp, err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		w, _, err := c.WeightVector(e, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tp := c.InverseThroughputWeights(w); tp != 3 {
+				b.Fatalf("tp=%v", tp)
+			}
+		}
+	})
+}
+
+// BenchmarkSMTPropagation compares the theory-propagation cost per
+// candidate model: the reference path (rebuild the mapping, evaluate
+// every experiment through the map-keyed evaluator) against the
+// compiled propagator (in-place µop retargeting, dense vectors, zero
+// allocations).
+func BenchmarkSMTPropagation(b *testing.B) {
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	var specs []zenport.UopSpec
+	for i, k := range keys {
+		specs = append(specs, zenport.UopSpec{Key: k})
+		if i%2 == 0 {
+			specs = append(specs, zenport.UopSpec{Key: k})
+		}
+	}
+	in := &zenport.Instance{NumPorts: 10, Rmax: 5, Epsilon: 0.02, Uops: specs}
+	var exps []zenport.MeasuredExp
+	for i, k := range keys {
+		exps = append(exps,
+			zenport.MeasuredExp{Exp: zenport.Exp(k), TInv: 1},
+			zenport.MeasuredExp{Exp: zenport.Experiment{k: 4, keys[(i+1)%len(keys)]: 1}, TInv: 2})
+	}
+	// Deterministic candidate port sets per iteration, so both legs
+	// walk the same sequence of models.
+	cand := func(i, u int) portmodel.PortSet {
+		return portmodel.PortSet(1)<<uint((i+u)%10) | portmodel.PortSet(1)<<uint((i+2*u+3)%10)
+	}
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			usage := make(map[string]portmodel.Usage, len(keys))
+			for u, sp := range specs {
+				usage[sp.Key] = append(usage[sp.Key], portmodel.Uop{Ports: cand(i, u), Count: 1})
+			}
+			m := portmodel.NewMapping(10)
+			for k, us := range usage {
+				m.Set(k, us)
+			}
+			viol := 0
+			for _, me := range exps {
+				t, err := m.InverseThroughputBounded(me.Exp, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tol := (0.02 + me.Slack) * float64(me.Exp.Len())
+				if t > me.TInv+tol || t < me.TInv-tol {
+					viol++
+				}
+			}
+			if viol == 0 {
+				b.Fatal("expected violations under random candidates")
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		prop, err := in.NewPropagator(exps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for u := range specs {
+				prop.SetUopPorts(u, cand(i, u))
+			}
+			if prop.Violations() == 0 {
+				b.Fatal("expected violations under random candidates")
+			}
+		}
+	})
+}
+
 // BenchmarkE9FindOtherToy measures the Figure 4 distinguishing-
 // experiment search.
 func BenchmarkE9FindOtherToy(b *testing.B) {

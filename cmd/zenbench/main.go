@@ -36,6 +36,7 @@ func main() {
 	chaosOn := flag.Bool("chaos", false, "inject deterministic faults (transients, hangs, outliers, stuck counters)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos)")
 	qualitySpread := flag.Float64("quality-spread", 0, "adaptive repetition quality target, robust relative spread (0 = default 0.05)")
+	predict := flag.Bool("predict", false, "also print the ground-truth port-model prediction (compiled evaluator)")
 	flag.Parse()
 
 	db := zenport.ZenDB()
@@ -124,6 +125,22 @@ func main() {
 		m.Retries, m.SamplesRejected, m.MaxSpread, m.MeanSpread, m.BackoffWait)
 	if cp != nil {
 		fmt.Printf("chaos ledger:      %s\n", cp.Ledger())
+	}
+	if *predict {
+		comp, err := zenport.CompileMapping(db.Truth(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inv, err := comp.InverseThroughputBounded(e, machine.Rmax())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc, err := comp.IPC(e, machine.Rmax())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model tp⁻¹:        %.4f cycles/iteration (ground-truth port model)\n", inv)
+		fmt.Printf("model IPC:         %.4f\n", ipc)
 	}
 }
 

@@ -142,10 +142,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Compile each mapping once; the whole block sweep shares the
+	// compiled evaluators (predictions are bit-identical to the
+	// uncompiled path). A failed compile leaves the predictor on its
+	// internal lazy/reference path.
+	oursComp, _ := zenport.CompileMapping(rep.Final, nil)
+	pmevoComp, _ := zenport.CompileMapping(pmevoMap, nil)
+	palmedEval := palmedModel.NewEvaluator()
 	preds := []eval.Predictor{
-		&eval.MappingPredictor{Label: "PMEvo", Mapping: pmevoMap},
-		&eval.FuncPredictor{Label: "Palmed", Fn: palmedModel.IPC},
-		&eval.MappingPredictor{Label: "Ours", Mapping: rep.Final, Rmax: machine.Rmax()},
+		&eval.MappingPredictor{Label: "PMEvo", Mapping: pmevoMap, Compiled: pmevoComp},
+		&eval.FuncPredictor{Label: "Palmed", Fn: palmedEval.IPC},
+		&eval.MappingPredictor{Label: "Ours", Mapping: rep.Final, Rmax: machine.Rmax(), Compiled: oursComp},
 	}
 	results, err := eval.Evaluate(bs, preds, 5.5, 22)
 	if err != nil {

@@ -144,3 +144,73 @@ func (m *Model) IPC(e portmodel.Experiment) (float64, error) {
 	}
 	return float64(e.Len()) / inv, nil
 }
+
+// Evaluator amortizes prediction over many experiments: the pressure
+// rows are interned to dense indices once, and each call walks the
+// experiment a single time, accumulating all resource sums into a
+// reused scratch vector instead of re-looking every key up per
+// resource.
+//
+// An Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	m    *Model
+	idx  map[string]int
+	rows [][]float64 // pressure rows, dense
+	sums []float64   // per-resource scratch
+}
+
+// NewEvaluator interns the model's pressure rows.
+func (m *Model) NewEvaluator() *Evaluator {
+	ev := &Evaluator{
+		m:    m,
+		idx:  make(map[string]int, len(m.Pressure)),
+		sums: make([]float64, len(m.Resources)),
+	}
+	keys := make([]string, 0, len(m.Pressure))
+	for k := range m.Pressure {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ev.idx[k] = len(ev.rows)
+		ev.rows = append(ev.rows, m.Pressure[k])
+	}
+	return ev
+}
+
+// InverseThroughput predicts tp⁻¹(e), matching
+// Model.InverseThroughput.
+func (ev *Evaluator) InverseThroughput(e portmodel.Experiment) (float64, error) {
+	sums := ev.sums
+	for i := range sums {
+		sums[i] = 0
+	}
+	for key, n := range e {
+		i, ok := ev.idx[key]
+		if !ok {
+			return 0, fmt.Errorf("palmed: no pressure vector for %q", key)
+		}
+		row := ev.rows[i]
+		f := float64(n)
+		for ri := range row {
+			sums[ri] += f * row[ri]
+		}
+	}
+	best := 0.0
+	for _, s := range sums {
+		best = math.Max(best, s)
+	}
+	return best, nil
+}
+
+// IPC predicts instructions per cycle, matching Model.IPC.
+func (ev *Evaluator) IPC(e portmodel.Experiment) (float64, error) {
+	inv, err := ev.InverseThroughput(e)
+	if err != nil {
+		return 0, err
+	}
+	if inv == 0 {
+		return math.Inf(1), nil
+	}
+	return float64(e.Len()) / inv, nil
+}

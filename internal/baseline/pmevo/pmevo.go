@@ -97,9 +97,10 @@ func Infer(h *measure.Harness, keys []string, cfg Config) (*portmodel.Mapping, e
 	for i := range pop {
 		pop[i] = randomMapping(rng, sorted, numPorts, cfg.MaxUops)
 	}
+	fe := newFitnessEval(sorted, benches, rmax)
 	fit := make([]float64, len(pop))
 	for i := range pop {
-		f, err := fitness(pop[i], benches, rmax)
+		f, err := fe.fitness(pop[i])
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +117,7 @@ func Infer(h *measure.Harness, keys []string, cfg Config) (*portmodel.Mapping, e
 			b := tournament(rng, fit)
 			child := crossover(rng, pop[a], pop[b], sorted)
 			mutate(rng, child, sorted, numPorts, cfg.MaxUops)
-			f, err := fitness(child, benches, rmax)
+			f, err := fe.fitness(child)
 			if err != nil {
 				return nil, err
 			}
@@ -128,12 +129,65 @@ func Infer(h *measure.Harness, keys []string, cfg Config) (*portmodel.Mapping, e
 	return pop[argmin(fit)], nil
 }
 
+// fitnessEval scores candidates against the fixed benchmark set. The
+// benchmark experiments are interned once into dense weight vectors
+// over the sorted key universe; each candidate is then compiled and
+// evaluated through the allocation-free portmodel.Compiled path,
+// which is bit-identical to the reference evaluator — the GA
+// trajectory is unchanged. Benchmarks that cannot be interned (keys
+// outside the universe) disable interning and score via the
+// reference path.
+type fitnessEval struct {
+	universe []string
+	benches  []benchmark
+	rmax     float64
+	vecs     [][]int32 // nil when interning is disabled
+	lens     []int
+}
+
+func newFitnessEval(universe []string, benches []benchmark, rmax float64) *fitnessEval {
+	fe := &fitnessEval{universe: universe, benches: benches, rmax: rmax}
+	idx := make(map[string]int, len(universe))
+	for i, k := range universe {
+		idx[k] = i
+	}
+	vecs := make([][]int32, len(benches))
+	lens := make([]int, len(benches))
+	for i, b := range benches {
+		vec := make([]int32, len(universe))
+		total := 0
+		for k, n := range b.exp {
+			j, ok := idx[k]
+			if !ok || n < 0 {
+				return fe
+			}
+			vec[j] += int32(n)
+			total += n
+		}
+		vecs[i], lens[i] = vec, total
+	}
+	fe.vecs, fe.lens = vecs, lens
+	return fe
+}
+
 // fitness is the mean absolute percentage error over the benchmark
 // set (lower is better).
-func fitness(m *portmodel.Mapping, benches []benchmark, rmax float64) (float64, error) {
+func (fe *fitnessEval) fitness(m *portmodel.Mapping) (float64, error) {
+	if fe.vecs != nil {
+		if comp, err := portmodel.CompileMapping(m, fe.universe); err == nil {
+			sum := 0.0
+			for i := range fe.vecs {
+				pred := comp.InverseThroughputBoundedWeights(fe.vecs[i], fe.lens[i], fe.rmax)
+				if t := fe.benches[i].tinv; t > 0 {
+					sum += math.Abs(pred-t) / t
+				}
+			}
+			return sum / float64(len(fe.benches)), nil
+		}
+	}
 	sum := 0.0
-	for _, b := range benches {
-		pred, err := m.InverseThroughputBounded(b.exp, rmax)
+	for _, b := range fe.benches {
+		pred, err := m.InverseThroughputBounded(b.exp, fe.rmax)
 		if err != nil {
 			return 0, err
 		}
@@ -141,7 +195,7 @@ func fitness(m *portmodel.Mapping, benches []benchmark, rmax float64) (float64, 
 			sum += math.Abs(pred-b.tinv) / b.tinv
 		}
 	}
-	return sum / float64(len(benches)), nil
+	return sum / float64(len(fe.benches)), nil
 }
 
 func argmin(xs []float64) int {

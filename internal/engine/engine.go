@@ -36,6 +36,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -356,11 +357,22 @@ func New(p Processor) *Engine {
 // the per-experiment RNG derivation input of the simulator.
 func CanonicalKey(e portmodel.Experiment) string {
 	keys := e.Keys()
-	parts := make([]string, 0, len(keys))
+	var b strings.Builder
+	grow := 0
 	for _, k := range keys {
-		parts = append(parts, fmt.Sprintf("%d*%s", e[k], k))
+		grow += len(k) + 13 // count digits + '*' + '|'
 	}
-	return strings.Join(parts, "|")
+	b.Grow(grow)
+	var num [20]byte
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.Write(strconv.AppendInt(num[:0], int64(e[k]), 10))
+		b.WriteByte('*')
+		b.WriteString(k)
+	}
+	return b.String()
 }
 
 // KernelOf flattens an experiment multiset into a deterministic

@@ -1,0 +1,180 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"zenport/internal/portmodel"
+)
+
+// buildRandomLP constructs a random feasible-ish LP; the same
+// construction is repeated for the warm and cold copies.
+func buildRandomLP(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	nv := 2 + rng.Intn(4)
+	for v := 0; v < nv; v++ {
+		p.AddVariable(rng.Float64()*4-1, fmt.Sprintf("x%d", v))
+	}
+	nc := 1 + rng.Intn(4)
+	for c := 0; c < nc; c++ {
+		var vars []int
+		var coeffs []float64
+		for v := 0; v < nv; v++ {
+			if rng.Intn(2) == 0 {
+				vars = append(vars, v)
+				coeffs = append(coeffs, rng.Float64()*4-1)
+			}
+		}
+		if len(vars) == 0 {
+			vars, coeffs = []int{0}, []float64{1}
+		}
+		rel := Relation(rng.Intn(3))
+		if err := p.AddConstraint(vars, coeffs, rel, rng.Float64()*8-2); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// TestSolveWarmMatchesCold is the warm-start contract: after SetRHS
+// retunes a solved problem, SolveWarm from the recorded basis reaches
+// the same status and objective as a cold Solve.
+func TestSolveWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	warmUsable := 0
+	for trial := 0; trial < 500; trial++ {
+		p := buildRandomLP(rng)
+		if p.Solve() != Optimal {
+			continue
+		}
+		basis, err := p.Basis()
+		if err != nil {
+			t.Fatalf("trial %d: basis: %v", trial, err)
+		}
+		warmUsable++
+		// Retune every rhs and compare warm vs cold on the same data.
+		for round := 0; round < 3; round++ {
+			for i := 0; i < p.NumConstraints(); i++ {
+				if err := p.SetRHS(i, rng.Float64()*8-2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cold := NewProblem()
+			for v := 0; v < p.nvars; v++ {
+				cold.AddVariable(p.obj[v], p.names[v])
+			}
+			for i := range p.rows {
+				vars := make([]int, 0, p.nvars)
+				coeffs := make([]float64, 0, p.nvars)
+				for v, cf := range p.rows[i] {
+					if cf != 0 {
+						vars = append(vars, v)
+						coeffs = append(coeffs, cf)
+					}
+				}
+				if len(vars) == 0 {
+					vars, coeffs = []int{0}, []float64{0}
+				}
+				if err := cold.AddConstraint(vars, coeffs, p.rels[i], p.rhs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ws := p.SolveWarm(basis)
+			cs := cold.Solve()
+			if ws != cs {
+				t.Fatalf("trial %d round %d: warm status %v, cold %v", trial, round, ws, cs)
+			}
+			if ws == Optimal {
+				wo, _ := p.Objective()
+				co, _ := cold.Objective()
+				if math.Abs(wo-co) > 1e-6*(1+math.Abs(co)) {
+					t.Fatalf("trial %d round %d: warm objective %v, cold %v", trial, round, wo, co)
+				}
+				basis, err = p.Basis()
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if warmUsable == 0 {
+		t.Fatal("no optimal random LPs generated; test is vacuous")
+	}
+}
+
+// TestProblemResetReuse checks the arena behavior: a Reset problem
+// rebuilds and solves correctly on recycled storage.
+func TestProblemResetReuse(t *testing.T) {
+	p := NewProblem()
+	for round := 0; round < 5; round++ {
+		p.Reset()
+		x := p.AddVariable(1, "x")
+		y := p.AddVariable(2, "y")
+		if err := p.AddConstraint([]int{x, y}, []float64{1, 1}, GE, float64(round+1)); err != nil {
+			t.Fatal(err)
+		}
+		if st := p.Solve(); st != Optimal {
+			t.Fatalf("round %d: status %v", round, st)
+		}
+		obj, err := p.Objective()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(round + 1); math.Abs(obj-want) > 1e-9 {
+			t.Fatalf("round %d: objective %v, want %v", round, obj, want)
+		}
+	}
+}
+
+// TestThroughputEvaluatorMatchesOneShot compares the amortized
+// evaluator against the one-shot LP and the combinatorial evaluator
+// on random mappings.
+func TestThroughputEvaluatorMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		numPorts := 2 + rng.Intn(5)
+		m := portmodel.NewMapping(numPorts)
+		numKeys := 1 + rng.Intn(4)
+		for i := 0; i < numKeys; i++ {
+			var u portmodel.Usage
+			for j := 0; j <= rng.Intn(2); j++ {
+				var ps portmodel.PortSet
+				for ps == 0 {
+					ps = portmodel.PortSet(rng.Intn(1 << numPorts))
+				}
+				u = append(u, portmodel.Uop{Ports: ps, Count: 1 + rng.Intn(2)})
+			}
+			m.Set(fmt.Sprintf("k%d", i), u)
+		}
+		ev, err := NewThroughputEvaluator(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for q := 0; q < 8; q++ {
+			e := make(portmodel.Experiment)
+			for term := 0; term <= rng.Intn(3); term++ {
+				e[fmt.Sprintf("k%d", rng.Intn(numKeys))] += rng.Intn(4)
+			}
+			want, err := InverseThroughput(m, e)
+			if err != nil {
+				t.Fatalf("trial %d: one-shot: %v", trial, err)
+			}
+			got, err := ev.InverseThroughput(e)
+			if err != nil {
+				t.Fatalf("trial %d: evaluator: %v", trial, err)
+			}
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("trial %d, %v: evaluator %v, one-shot %v", trial, e, got, want)
+			}
+			comb, err := m.InverseThroughput(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-comb) > 1e-6*(1+comb) {
+				t.Fatalf("trial %d, %v: evaluator %v, combinatorial %v", trial, e, got, comb)
+			}
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package portmodel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Compiled is a compiled throughput evaluator: a Mapping lowered onto
+// a fixed scheme universe with every string key interned to a dense
+// int32 index and every µop packed into a flat array of
+// (PortSet, count) pairs. Queries run over dense weight vectors and
+// allocate nothing in steady state, which makes the evaluator fit for
+// the two hottest loops of the system — the DPLL(T) propagation of
+// package smt (one throughput query per experiment per candidate
+// model) and the bulk block evaluation of cmd/zeneval.
+//
+// The evaluation algorithm is the same exact bottleneck-set formula
+// as the reference evaluator (Mapping.InverseThroughput): the inverse
+// throughput is max over non-empty port sets Q of mass(Q)/|Q|. The
+// compiled form computes all 2^|union| masses at once with a
+// subset-sum (zeta) transform over the union of occurring ports,
+// walking only submasks of that union via the (s-1)&union bit trick —
+// O(2^n·n) for n used ports, with no per-subset re-summation. All
+// masses are integers represented exactly in float64, so results are
+// bit-identical to the reference evaluator, including the witness
+// tie-break (numerically smallest PortSet among the maximizers).
+//
+// Experiment-keyed queries additionally memoize their result per
+// weight-multiset key, so repeated queries cost one buffer encode and
+// one map probe. A Compiled is not safe for concurrent use; compile
+// one per goroutine (compilation is cheap) or guard it externally.
+type Compiled struct {
+	numPorts int
+	keys     []string         // scheme index -> key
+	index    map[string]int32 // key -> scheme index
+	start    []int32          // scheme index -> first µop in uops; len = len(keys)+1
+	uops     []cuop           // packed µops, grouped by scheme
+
+	// sos is the subset-sum scratch: one float64 per subset of the
+	// mapping's ports (8 KiB for the 10-port Zen machine).
+	sos []float64
+	// touched tracks which scheme weights the current experiment set,
+	// so the scratch weight vector can be cleared without a full scan.
+	w       []int32
+	touched []int32
+	keyBuf  []byte
+	memo    map[string]memoVal
+}
+
+// cuop is one packed µop: admissible ports and multiplicity.
+type cuop struct {
+	ports PortSet
+	count uint8
+}
+
+// memoVal caches one experiment's evaluation.
+type memoVal struct {
+	q     PortSet
+	inv   float64
+	total int32 // instruction count of the experiment
+}
+
+// maxCompiledCount bounds a packed µop multiplicity.
+const maxCompiledCount = 255
+
+// CompileMapping compiles a mapping over the given scheme universe.
+// A nil universe compiles every key of the mapping. Every universe
+// key must have a usage in the mapping.
+func CompileMapping(m *Mapping, universe []string) (*Compiled, error) {
+	if universe == nil {
+		universe = m.Keys()
+	}
+	usages := make([]Usage, len(universe))
+	for i, key := range universe {
+		u, ok := m.Usage[key]
+		if !ok {
+			return nil, fmt.Errorf("portmodel: no usage known for %q", key)
+		}
+		usages[i] = u
+	}
+	return CompileUsages(m.NumPorts, universe, usages)
+}
+
+// CompileUsages compiles an evaluator directly from parallel key and
+// usage slices. µop order within each usage is preserved (not
+// normalized), so callers that need a stable per-µop layout — the SMT
+// propagator updates individual µop port sets in place — control it.
+func CompileUsages(numPorts int, keys []string, usages []Usage) (*Compiled, error) {
+	if numPorts <= 0 || numPorts > MaxPorts {
+		return nil, fmt.Errorf("portmodel: invalid port count %d", numPorts)
+	}
+	if len(keys) != len(usages) {
+		return nil, fmt.Errorf("portmodel: %d keys but %d usages", len(keys), len(usages))
+	}
+	all := PortSet(1<<uint(numPorts)) - 1
+	c := &Compiled{
+		numPorts: numPorts,
+		keys:     append([]string(nil), keys...),
+		index:    make(map[string]int32, len(keys)),
+		start:    make([]int32, len(keys)+1),
+		sos:      make([]float64, 1<<uint(numPorts)),
+		w:        make([]int32, len(keys)),
+		touched:  make([]int32, 0, 8),
+		memo:     make(map[string]memoVal),
+	}
+	for i, key := range keys {
+		if _, dup := c.index[key]; dup {
+			return nil, fmt.Errorf("portmodel: duplicate scheme %q in universe", key)
+		}
+		c.index[key] = int32(i)
+		c.start[i] = int32(len(c.uops))
+		for _, x := range usages[i] {
+			if x.Count < 0 || x.Count > maxCompiledCount {
+				return nil, fmt.Errorf("portmodel: %s has µop count %d outside [0,%d]", key, x.Count, maxCompiledCount)
+			}
+			if !x.Ports.SubsetOf(all) {
+				return nil, fmt.Errorf("portmodel: %s uses port outside [0,%d)", key, numPorts)
+			}
+			c.uops = append(c.uops, cuop{ports: x.Ports, count: uint8(x.Count)})
+		}
+	}
+	c.start[len(keys)] = int32(len(c.uops))
+	return c, nil
+}
+
+// NumPorts returns the number of execution ports.
+func (c *Compiled) NumPorts() int { return c.numPorts }
+
+// NumSchemes returns the size of the compiled scheme universe.
+func (c *Compiled) NumSchemes() int { return len(c.keys) }
+
+// Keys returns the interned scheme keys; index i holds the key of
+// scheme index i. The slice is shared — do not mutate.
+func (c *Compiled) Keys() []string { return c.keys }
+
+// Index returns the dense index of a scheme key.
+func (c *Compiled) Index(key string) (int32, bool) {
+	i, ok := c.index[key]
+	return i, ok
+}
+
+// SetUop replaces the port set of the j-th µop of the given scheme
+// (in CompileUsages order) and invalidates the memo. It is the SMT
+// propagator's in-place retargeting hook: the µop structure of a
+// solver instance is fixed, only the candidate port sets change.
+func (c *Compiled) SetUop(scheme int32, j int, ports PortSet) {
+	c.uops[int(c.start[scheme])+j].ports = ports
+	if len(c.memo) > 0 {
+		clear(c.memo)
+	}
+}
+
+// WeightVector interns an experiment into a dense weight vector over
+// the compiled universe, reusing dst when it has the right length.
+// It returns the vector, the total instruction count, and an error
+// for unknown keys or negative counts (matching the reference
+// evaluator's messages).
+func (c *Compiled) WeightVector(e Experiment, dst []int32) ([]int32, int, error) {
+	if len(dst) != len(c.keys) {
+		dst = make([]int32, len(c.keys))
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	total := 0
+	for key, n := range e {
+		if n == 0 {
+			continue
+		}
+		if n < 0 {
+			return dst, 0, fmt.Errorf("portmodel: negative count for %q", key)
+		}
+		i, ok := c.index[key]
+		if !ok {
+			return dst, 0, fmt.Errorf("portmodel: no usage known for %q", key)
+		}
+		dst[i] = int32(n)
+		total += n
+	}
+	return dst, total, nil
+}
+
+// evalVec is the allocation-free core: the bottleneck witness and
+// value of a dense weight vector. Weights must be non-negative.
+func (c *Compiled) evalVec(w []int32) (PortSet, float64) {
+	// Pass 1: the union of ports occurring with positive mass. Ports
+	// outside it can never be a bottleneck.
+	var union PortSet
+	for i, wi := range w {
+		if wi == 0 {
+			continue
+		}
+		for _, u := range c.uops[c.start[i]:c.start[i+1]] {
+			if u.count != 0 {
+				union |= u.ports
+			}
+		}
+	}
+	if union == 0 {
+		return 0, 0
+	}
+	// Pass 2: per-port-set masses into the subset-sum scratch. Only
+	// submasks of the union are touched, so only those are cleared.
+	sos := c.sos
+	for s := union; ; s = (s - 1) & union {
+		sos[s] = 0
+		if s == 0 {
+			break
+		}
+	}
+	for i, wi := range w {
+		if wi == 0 {
+			continue
+		}
+		for _, u := range c.uops[c.start[i]:c.start[i+1]] {
+			sos[u.ports] += float64(int(wi) * int(u.count))
+		}
+	}
+	// Zeta transform over the union's ports: afterwards sos[q] is
+	// mass(q), the total mass of µops confined to q.
+	for b := 0; b < c.numPorts; b++ {
+		bit := PortSet(1) << uint(b)
+		if union&bit == 0 {
+			continue
+		}
+		for s := union; ; s = (s - 1) & union {
+			if s&bit != 0 {
+				sos[s] += sos[s&^bit]
+			}
+			if s == 0 {
+				break
+			}
+		}
+	}
+	// Maximize mass(q)/|q|. The reference evaluator enumerates
+	// subsets in ascending compressed-index order and keeps the first
+	// maximum; compression is order-preserving, so that winner is the
+	// numerically smallest maximizing PortSet — enforce the same
+	// tie-break here explicitly (all masses are exact integers, so
+	// float equality is meaningful).
+	bestQ, best := PortSet(0), -1.0
+	for s := union; ; s = (s - 1) & union {
+		if s != 0 {
+			if v := sos[s] / float64(s.Size()); v > best || (v == best && s < bestQ) {
+				best, bestQ = v, s
+			}
+		}
+		if s == 0 {
+			break
+		}
+	}
+	return bestQ, best
+}
+
+// InverseThroughputWeights computes tp^-1 of a dense weight vector
+// with zero allocations and no memoization (fresh candidate mappings
+// never repeat, so the SMT hot path skips the memo entirely).
+func (c *Compiled) InverseThroughputWeights(w []int32) float64 {
+	_, v := c.evalVec(w)
+	return v
+}
+
+// InverseThroughputBoundedWeights applies the frontend bottleneck:
+// max(tp^-1, total/rmax), with total the instruction count of the
+// experiment (the sum of w). rmax <= 0 disables the bound.
+func (c *Compiled) InverseThroughputBoundedWeights(w []int32, total int, rmax float64) float64 {
+	_, v := c.evalVec(w)
+	if rmax > 0 {
+		if lim := float64(total) / rmax; v < lim {
+			v = lim
+		}
+	}
+	return v
+}
+
+// BottleneckWitnessWeights returns the bottleneck witness and value
+// of a dense weight vector with zero allocations.
+func (c *Compiled) BottleneckWitnessWeights(w []int32) (PortSet, float64) {
+	return c.evalVec(w)
+}
+
+// evalExperiment interns, memoizes, and evaluates one experiment.
+// Steady state (memo hit) performs no allocation: the weight scratch,
+// touched list, and key buffer are reused, and the map probe uses the
+// compiler's zero-copy string(keyBuf) lookup.
+func (c *Compiled) evalExperiment(e Experiment) (memoVal, error) {
+	c.touched = c.touched[:0]
+	total := 0
+	bad := ""
+	negative := false
+	for key, n := range e {
+		if n == 0 {
+			continue
+		}
+		if n < 0 {
+			negative, bad = true, key
+			break
+		}
+		i, ok := c.index[key]
+		if !ok {
+			bad = key
+			break
+		}
+		c.w[i] = int32(n)
+		c.touched = append(c.touched, i)
+		total += n
+	}
+	if bad != "" {
+		for _, i := range c.touched {
+			c.w[i] = 0
+		}
+		if negative {
+			return memoVal{}, fmt.Errorf("portmodel: negative count for %q", bad)
+		}
+		return memoVal{}, fmt.Errorf("portmodel: no usage known for %q", bad)
+	}
+	// Canonical memo key: (index, weight) pairs in ascending index
+	// order. The touched list is in map-iteration order, so the key is
+	// built from an ascending scan of the weight vector instead.
+	c.keyBuf = c.keyBuf[:0]
+	var enc [binary.MaxVarintLen32]byte
+	for i, wi := range c.w {
+		if wi == 0 {
+			continue
+		}
+		c.keyBuf = append(c.keyBuf, enc[:binary.PutUvarint(enc[:], uint64(i))]...)
+		c.keyBuf = append(c.keyBuf, enc[:binary.PutUvarint(enc[:], uint64(wi))]...)
+	}
+	if v, ok := c.memo[string(c.keyBuf)]; ok {
+		for _, i := range c.touched {
+			c.w[i] = 0
+		}
+		return v, nil
+	}
+	q, inv := c.evalVec(c.w)
+	v := memoVal{q: q, inv: inv, total: int32(total)}
+	c.memo[string(c.keyBuf)] = v
+	for _, i := range c.touched {
+		c.w[i] = 0
+	}
+	return v, nil
+}
+
+// InverseThroughput computes tp^-1(e), bit-identical to the reference
+// Mapping.InverseThroughput of the compiled mapping.
+func (c *Compiled) InverseThroughput(e Experiment) (float64, error) {
+	v, err := c.evalExperiment(e)
+	if err != nil {
+		return 0, err
+	}
+	return v.inv, nil
+}
+
+// InverseThroughputBounded is InverseThroughput with the frontend
+// bottleneck applied: max(tp^-1(e), |e|/rmax). rmax <= 0 disables it.
+func (c *Compiled) InverseThroughputBounded(e Experiment, rmax float64) (float64, error) {
+	v, err := c.evalExperiment(e)
+	if err != nil {
+		return 0, err
+	}
+	inv := v.inv
+	if rmax > 0 {
+		if lim := float64(v.total) / rmax; inv < lim {
+			inv = lim
+		}
+	}
+	return inv, nil
+}
+
+// BottleneckWitness returns a port set Q achieving the bottleneck
+// maximum, with the reference evaluator's tie-break.
+func (c *Compiled) BottleneckWitness(e Experiment) (PortSet, float64, error) {
+	v, err := c.evalExperiment(e)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.q, v.inv, nil
+}
+
+// Throughput returns experiment iterations per cycle.
+func (c *Compiled) Throughput(e Experiment) (float64, error) {
+	inv, err := c.InverseThroughput(e)
+	if err != nil {
+		return 0, err
+	}
+	if inv == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / inv, nil
+}
+
+// IPC returns instructions per cycle, capped at rmax if rmax > 0,
+// matching Mapping.IPC exactly.
+func (c *Compiled) IPC(e Experiment, rmax float64) (float64, error) {
+	v, err := c.evalExperiment(e)
+	if err != nil {
+		return 0, err
+	}
+	n := float64(v.total)
+	if n == 0 {
+		return 0, nil
+	}
+	inv := v.inv
+	if rmax > 0 {
+		if lim := n / rmax; inv < lim {
+			inv = lim
+		}
+	}
+	if inv == 0 {
+		return math.Inf(1), nil
+	}
+	return n / inv, nil
+}

@@ -54,9 +54,16 @@ func (s PortSet) Has(k int) bool { return s&(1<<uint(k)) != 0 }
 // SubsetOf reports whether every port of s is also in t.
 func (s PortSet) SubsetOf(t PortSet) bool { return s&^t == 0 }
 
-// Ports returns the sorted list of port indices in the set.
-func (s PortSet) Ports() []int {
-	out := make([]int, 0, s.Size())
+// Ports returns the sorted list of port indices in the set. An
+// optional reuse buffer avoids the allocation on hot paths: the
+// result is appended to reuse[0][:0] when given.
+func (s PortSet) Ports(reuse ...[]int) []int {
+	var out []int
+	if len(reuse) > 0 {
+		out = reuse[0][:0]
+	} else {
+		out = make([]int, 0, s.Size())
+	}
 	for k := 0; k < MaxPorts; k++ {
 		if s.Has(k) {
 			out = append(out, k)
@@ -322,14 +329,20 @@ func (m *Mapping) InverseThroughput(e Experiment) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return bottleneckMax(mass, m.NumPorts), nil
+	_, v := bottleneck(mass)
+	return v, nil
 }
 
-// bottleneckMax evaluates max over non-empty Q of mass(Q)/|Q|.
-// To stay subexponential in common cases it enumerates only subsets
-// of the union of occurring port sets; ports outside that union can
-// never be a bottleneck.
-func bottleneckMax(mass map[PortSet]float64, numPorts int) float64 {
+// bottleneck evaluates max over non-empty Q of mass(Q)/|Q| and
+// returns a maximizing set together with the value. It is the single
+// shared core of InverseThroughput, InverseThroughputBounded, and
+// BottleneckWitness. To stay subexponential in common cases it
+// enumerates only subsets of the union of occurring port sets; ports
+// outside that union can never be a bottleneck. Ties are broken
+// toward the subset with the smallest enumeration index, i.e. the
+// numerically smallest PortSet — package Compiled replicates this
+// tie-break exactly so both evaluators return identical witnesses.
+func bottleneck(mass map[PortSet]float64) (PortSet, float64) {
 	var union PortSet
 	for ps, m := range mass {
 		if m > 0 {
@@ -337,19 +350,12 @@ func bottleneckMax(mass map[PortSet]float64, numPorts int) float64 {
 		}
 	}
 	if union == 0 {
-		return 0
+		return 0, 0
 	}
-	usedPorts := union.Ports()
+	var portsBuf [MaxPorts]int
+	usedPorts := union.Ports(portsBuf[:])
 	n := len(usedPorts)
-	sets := make([]PortSet, 0, len(mass))
-	vals := make([]float64, 0, len(mass))
-	for ps, m := range mass {
-		if m > 0 {
-			sets = append(sets, ps)
-			vals = append(vals, m)
-		}
-	}
-	best := 0.0
+	bestQ, best := PortSet(0), -1.0
 	// Enumerate subsets of the used ports via index masks.
 	for idx := 1; idx < 1<<uint(n); idx++ {
 		var q PortSet
@@ -359,16 +365,16 @@ func bottleneckMax(mass map[PortSet]float64, numPorts int) float64 {
 			}
 		}
 		total := 0.0
-		for i, ps := range sets {
+		for ps, v := range mass {
 			if ps.SubsetOf(q) {
-				total += vals[i]
+				total += v
 			}
 		}
 		if v := total / float64(q.Size()); v > best {
-			best = v
+			best, bestQ = v, q
 		}
 	}
-	return best
+	return bestQ, best
 }
 
 // Throughput returns the (non-inverse) throughput of the experiment:
@@ -431,36 +437,8 @@ func (m *Mapping) BottleneckWitness(e Experiment) (PortSet, float64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	var union PortSet
-	for ps, v := range mass {
-		if v > 0 {
-			union |= ps
-		}
-	}
-	if union == 0 {
-		return 0, 0, nil
-	}
-	usedPorts := union.Ports()
-	n := len(usedPorts)
-	bestQ, best := PortSet(0), -1.0
-	for idx := 1; idx < 1<<uint(n); idx++ {
-		var q PortSet
-		for b := 0; b < n; b++ {
-			if idx&(1<<uint(b)) != 0 {
-				q |= 1 << uint(usedPorts[b])
-			}
-		}
-		total := 0.0
-		for ps, v := range mass {
-			if ps.SubsetOf(q) {
-				total += v
-			}
-		}
-		if v := total / float64(q.Size()); v > best {
-			best, bestQ = v, q
-		}
-	}
-	return bestQ, best, nil
+	q, v := bottleneck(mass)
+	return q, v, nil
 }
 
 // PortPermutation applies a permutation of port indices to the

@@ -96,6 +96,13 @@ func (in *Instance) FindMappingBudget(ctx context.Context, exps []MeasuredExp, b
 	if err != nil {
 		return nil, err
 	}
+	// Compiled propagation state: dense weight vectors, packed µops,
+	// zero allocations per candidate check. Experiments mentioning
+	// unknown keys or negative counts cannot be interned; those fall
+	// back to the reference evaluator, whose per-call errors preserve
+	// the original behavior exactly.
+	prop, _ := in.NewPropagator(exps)
+	var byUop []portmodel.PortSet
 	iters, lemmas0, budgetStopped := 0, len(in.lemmas), false
 	defer func() { in.noteQuery(enc, iters, lemmas0, budgetStopped) }()
 	for iters < maxTheoryIterations {
@@ -111,16 +118,27 @@ func (in *Instance) FindMappingBudget(ctx context.Context, exps []MeasuredExp, b
 		if r != sat.Sat {
 			return nil, ErrNoMapping
 		}
-		m, byUop := in.decode(enc)
-		vs, err := in.checkExps(m, exps)
-		if err != nil {
-			return nil, err
+		byUop = in.decodePorts(enc, byUop)
+		var m *portmodel.Mapping
+		var vs []violation
+		if prop != nil {
+			prop.load(byUop)
+			vs = prop.check()
+		} else {
+			m = in.mappingFromPorts(byUop)
+			vs, err = in.checkExps(m, exps)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if len(vs) == 0 {
+			if m == nil {
+				m = in.mappingFromPorts(byUop)
+			}
 			return m, nil
 		}
 		// Theory conflict: learn generalized lemmas and re-solve.
-		if err := in.learnViolations(enc, m, byUop, exps, vs); err != nil {
+		if err := in.learnViolations(enc, prop, m, byUop, exps, vs); err != nil {
 			if errors.Is(err, errUnsatLemma) {
 				return nil, ErrNoMapping
 			}
@@ -198,6 +216,8 @@ func (in *Instance) FindOtherMappingBudget(ctx context.Context, exps []MeasuredE
 	if err != nil {
 		return nil, err
 	}
+	prop, _ := in.NewPropagator(exps)
+	var byUop []portmodel.PortSet
 	iters, lemmas0, budgetStopped := 0, len(in.lemmas), false
 	defer func() { in.noteQuery(enc, iters, lemmas0, budgetStopped) }()
 	// Pre-enumerate the candidate experiments in stratified order and
@@ -220,19 +240,30 @@ func (in *Instance) FindOtherMappingBudget(ctx context.Context, exps []MeasuredE
 		if r != sat.Sat {
 			return nil, nil
 		}
-		m2, byUop := in.decode(enc)
-		vs, err := in.checkExps(m2, exps)
-		if err != nil {
-			return nil, err
+		byUop = in.decodePorts(enc, byUop)
+		var m2 *portmodel.Mapping
+		var vs []violation
+		if prop != nil {
+			prop.load(byUop)
+			vs = prop.check()
+		} else {
+			m2 = in.mappingFromPorts(byUop)
+			vs, err = in.checkExps(m2, exps)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if len(vs) > 0 {
-			if err := in.learnViolations(enc, m2, byUop, exps, vs); err != nil {
+			if err := in.learnViolations(enc, prop, m2, byUop, exps, vs); err != nil {
 				if errors.Is(err, errUnsatLemma) {
 					return nil, nil
 				}
 				return nil, err
 			}
 			continue
+		}
+		if m2 == nil {
+			m2 = in.mappingFromPorts(byUop)
 		}
 		candidates++
 		// m2 is consistent. Indistinguishable permutations of m1 are
@@ -277,13 +308,29 @@ type candExp struct {
 // under m1.
 func (in *Instance) candidateExps(m1 *portmodel.Mapping, maxDistinct, maxTotal int) ([]candExp, error) {
 	keys := in.keys()
+	// Compile m1 once over the instance's key universe; the whole
+	// stratified enumeration then evaluates through one allocation-free
+	// evaluator. Mappings missing a key cannot compile and use the
+	// reference path, which reports the same error on first use.
+	comp, _ := portmodel.CompileMapping(m1, keys)
+	var wbuf []int32
+	eval := func(e portmodel.Experiment) (float64, error) {
+		if comp != nil {
+			w, total, err := comp.WeightVector(e, wbuf)
+			if err == nil {
+				wbuf = w
+				return comp.InverseThroughputBoundedWeights(w, total, in.Rmax), nil
+			}
+		}
+		return in.modelTInv(m1, e)
+	}
 	var out []candExp
 	for total := 1; total <= maxTotal; total++ {
 		e := make(portmodel.Experiment)
 		var rec func(start, remaining, distinct int) error
 		rec = func(start, remaining, distinct int) error {
 			if remaining == 0 {
-				t1, err := in.modelTInv(m1, e)
+				t1, err := eval(e)
 				if err != nil {
 					return err
 				}
@@ -322,6 +369,8 @@ func (in *Instance) distinguishPre(m1, m2 *portmodel.Mapping, cands []candExp) (
 		}
 	}
 	need := 2 * in.Epsilon
+	comp2, _ := portmodel.CompileMapping(m2, in.keys())
+	var wbuf []int32
 	for _, c := range cands {
 		touches := false
 		for k := range c.exp {
@@ -333,7 +382,19 @@ func (in *Instance) distinguishPre(m1, m2 *portmodel.Mapping, cands []candExp) (
 		if !touches {
 			continue
 		}
-		t2, err := in.modelTInv(m2, c.exp)
+		var t2 float64
+		var err error
+		if comp2 != nil {
+			var w []int32
+			var total int
+			if w, total, err = comp2.WeightVector(c.exp, wbuf); err == nil {
+				wbuf = w
+				t2 = comp2.InverseThroughputBoundedWeights(w, total, in.Rmax)
+			}
+		}
+		if comp2 == nil || err != nil {
+			t2, err = in.modelTInv(m2, c.exp)
+		}
 		if err != nil {
 			return nil, 0, 0, err
 		}

@@ -304,9 +304,18 @@ func (in *Instance) addLexGE(enc *encoding, a, b int) error {
 // per-µop-index port sets (needed for exact lemma attribution: the
 // Mapping merges µops with equal port sets, the index view does not).
 func (in *Instance) decode(enc *encoding) (*portmodel.Mapping, []portmodel.PortSet) {
-	m := portmodel.NewMapping(in.NumPorts)
-	byUop := make([]portmodel.PortSet, len(in.Uops))
-	usage := make(map[string]portmodel.Usage)
+	byUop := in.decodePorts(enc, nil)
+	return in.mappingFromPorts(byUop), byUop
+}
+
+// decodePorts reads only the per-µop port sets out of a satisfying
+// model, reusing buf when it has the right length — the hot loops
+// avoid building the string-keyed Mapping for candidates that are
+// about to be refuted anyway.
+func (in *Instance) decodePorts(enc *encoding, buf []portmodel.PortSet) []portmodel.PortSet {
+	if len(buf) != len(in.Uops) {
+		buf = make([]portmodel.PortSet, len(in.Uops))
+	}
 	for u := range in.Uops {
 		var ps portmodel.PortSet
 		for k := 0; k < in.NumPorts; k++ {
@@ -314,13 +323,23 @@ func (in *Instance) decode(enc *encoding) (*portmodel.Mapping, []portmodel.PortS
 				ps |= 1 << uint(k)
 			}
 		}
-		byUop[u] = ps
-		usage[in.Uops[u].Key] = append(usage[in.Uops[u].Key], portmodel.Uop{Ports: ps, Count: 1})
+		buf[u] = ps
+	}
+	return buf
+}
+
+// mappingFromPorts assembles the string-keyed Mapping of a decoded
+// candidate (only done for candidates that survive propagation).
+func (in *Instance) mappingFromPorts(byUop []portmodel.PortSet) *portmodel.Mapping {
+	m := portmodel.NewMapping(in.NumPorts)
+	usage := make(map[string]portmodel.Usage)
+	for u := range in.Uops {
+		usage[in.Uops[u].Key] = append(usage[in.Uops[u].Key], portmodel.Uop{Ports: byUop[u], Count: 1})
 	}
 	for key, us := range usage {
 		m.Set(key, us)
 	}
-	return m, byUop
+	return m
 }
 
 // modelTInv is the model-predicted inverse throughput with the
@@ -358,12 +377,26 @@ func (in *Instance) checkExps(m *portmodel.Mapping, exps []MeasuredExp) ([]viola
 
 // learnViolations adds one lemma per violated experiment and asserts
 // them into the live solver. Learning all violations at once sharply
-// reduces the number of theory iterations.
-func (in *Instance) learnViolations(enc *encoding, m *portmodel.Mapping, byUop []portmodel.PortSet, exps []MeasuredExp, vs []violation) error {
+// reduces the number of theory iterations. Too-slow lemmas need the
+// bottleneck witness of the failing candidate: the compiled
+// propagator provides it allocation-free when available, otherwise it
+// is recomputed from the reference evaluator — the two are
+// bit-identical, so the learned lemmas (and with them the whole
+// search trajectory) do not depend on which path ran.
+func (in *Instance) learnViolations(enc *encoding, prop *Propagator, m *portmodel.Mapping, byUop []portmodel.PortSet, exps []MeasuredExp, vs []violation) error {
 	for _, v := range vs {
 		var err error
 		if v.tooSlow {
-			err = in.addTooSlowLemma(m, byUop, exps[v.idx].Exp, exps[v.idx].Slack)
+			var q portmodel.PortSet
+			if prop != nil {
+				q = prop.witness(v.idx)
+			} else {
+				q, _, err = m.BottleneckWitness(exps[v.idx].Exp)
+				if err != nil {
+					return err
+				}
+			}
+			err = in.addTooSlowLemma(q, byUop, exps[v.idx].Exp, exps[v.idx].Slack)
 		} else {
 			err = in.addTooFastLemma(byUop, exps[v.idx].Exp, exps[v.idx].Slack)
 		}
@@ -391,15 +424,11 @@ func (in *Instance) uopIndexByKey() map[string][]int {
 }
 
 // addTooSlowLemma learns the down-set exclusion for a "model too
-// slow" conflict: with Q the bottleneck witness of the failing
-// mapping, any mapping keeping every culprit µop inside Q has
-// mass(Q) at least as large and is therefore at least as slow, so
-// some culprit µop must gain a port outside Q.
-func (in *Instance) addTooSlowLemma(m *portmodel.Mapping, byUop []portmodel.PortSet, e portmodel.Experiment, slack float64) error {
-	q, _, err := m.BottleneckWitness(e)
-	if err != nil {
-		return err
-	}
+// slow" conflict: with q the bottleneck witness of the failing
+// mapping, any mapping keeping every culprit µop inside q has
+// mass(q) at least as large and is therefore at least as slow, so
+// some culprit µop must gain a port outside q.
+func (in *Instance) addTooSlowLemma(q portmodel.PortSet, byUop []portmodel.PortSet, e portmodel.Experiment, slack float64) error {
 	var lem []lemmaLit
 	for ui, spec := range in.Uops {
 		if e[spec.Key] == 0 {

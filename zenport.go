@@ -51,6 +51,11 @@ type (
 	Mapping = portmodel.Mapping
 	// Experiment is a dependency-free instruction multiset.
 	Experiment = portmodel.Experiment
+	// CompiledMapping is a mapping compiled for repeated throughput
+	// evaluation: scheme keys interned to dense indices, µops packed
+	// flat, zero steady-state allocations per query. Results are
+	// bit-identical to the Mapping methods.
+	CompiledMapping = portmodel.Compiled
 
 	// Scheme is an x86-64 instruction scheme.
 	Scheme = isa.Scheme
@@ -139,6 +144,16 @@ func NewMapping(numPorts int) *Mapping { return portmodel.NewMapping(numPorts) }
 
 // Exp builds an experiment from instruction keys (repetitions allowed).
 func Exp(keys ...string) Experiment { return portmodel.Exp(keys...) }
+
+// CompileMapping compiles a mapping for repeated throughput queries
+// (predictions over many blocks, model-vs-model sweeps). The universe
+// fixes the scheme-index order; nil uses the mapping's sorted keys.
+// Compile once, query many times: the compiled evaluator answers
+// InverseThroughput/IPC with zero steady-state allocations and
+// bit-identical results to the Mapping methods.
+func CompileMapping(m *Mapping, universe []string) (*CompiledMapping, error) {
+	return portmodel.CompileMapping(m, universe)
+}
 
 // ZenDB builds the Zen+ instruction scheme database with ground
 // truth (1,100+ schemes).
