@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race soak solver-soak verify bench bench-smoke clean
+.PHONY: build test vet race soak solver-soak serve-smoke verify bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,20 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages under the race detector: the batch
-# engine (worker pool, cache, persist hook), the chaos wrapper, and
-# the pipeline on top of them (kill-and-resume golden tests).
+# engine (worker pool, cache, persist hook, singleflight), the chaos
+# wrapper, the pipeline on top of them (kill-and-resume golden tests),
+# and the serving layer (evaluator pool, prediction LRU, HTTP hammer).
 race:
-	$(GO) test -race -timeout 20m ./internal/engine/... ./internal/chaos/... ./internal/core/...
+	$(GO) test -race -timeout 20m ./internal/engine/... ./internal/chaos/... ./internal/core/... ./internal/serve/...
+
+# serve-smoke boots the zenportd HTTP stack in-process under the race
+# detector and replays a mixed 64-client query stream against it,
+# verifying every served prediction bit-identical to the batch
+# evaluator (the same compiled-mapping path zeneval uses) and printing
+# p50/p90/p99 latency. A non-zero exit means a mismatch, a failed
+# request, or a data race.
+serve-smoke:
+	$(GO) run -race ./cmd/zenload -self -mapping zen=mapping.json -clients 64 -requests 3000 -verify
 
 # soak runs the chaos-hardened inference end to end under the race
 # detector: full pipeline under ≈2% transients, hangs, 10× outlier

@@ -16,14 +16,24 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"zenport"
 )
 
+// main delegates to run so the deferred persist-store Close (journal
+// compaction) runs on every exit path, including signal cancellation.
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	kernel := flag.String("kernel", "", "kernel: comma-separated 'N*scheme key' terms")
 	list := flag.String("list", "", "list scheme keys containing this substring")
 	seed := flag.Int64("seed", 2600, "noise seed")
@@ -47,15 +57,15 @@ func main() {
 				fmt.Printf("%-45s macro-ops=%d  truth=%s\n", key, sp.MacroOps, sp.Uops)
 			}
 		}
-		return
+		return nil
 	}
 	if *kernel == "" {
-		log.Fatal("specify -kernel or -list")
+		return fmt.Errorf("specify -kernel or -list")
 	}
 
 	e, err := parseKernel(*kernel)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Unknown scheme keys are user input, not bugs: report them with
 	// suggestions and exit 1 instead of dumping a stack trace.
@@ -85,15 +95,18 @@ func main() {
 	if *cacheDir != "" {
 		store, err := zenport.OpenCache(*cacheDir, zenport.RunFingerprint(fper, h.Engine))
 		if err != nil {
-			log.Fatalf("opening cache: %v", err)
+			return fmt.Errorf("opening cache: %w", err)
 		}
 		store.Log = log.Printf
 		defer store.Close()
 		if err := store.Attach(h.Engine); err != nil {
-			log.Fatalf("attaching cache: %v", err)
+			return fmt.Errorf("attaching cache: %w", err)
 		}
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the measurement; the deferred store Close
+	// above still compacts the journal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -101,7 +114,7 @@ func main() {
 	}
 	r, err := h.Engine.Measure(ctx, e)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("kernel:            %s\n", e)
 	fmt.Printf("inverse throughput: %.4f cycles/iteration (median of %d kept samples, %d runs)\n",
@@ -129,19 +142,20 @@ func main() {
 	if *predict {
 		comp, err := zenport.CompileMapping(db.Truth(), nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		inv, err := comp.InverseThroughputBounded(e, machine.Rmax())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ipc, err := comp.IPC(e, machine.Rmax())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("model tp⁻¹:        %.4f cycles/iteration (ground-truth port model)\n", inv)
 		fmt.Printf("model IPC:         %.4f\n", ipc)
 	}
+	return nil
 }
 
 // parseKernel parses "4*key1, key2" into an experiment. Scheme keys

@@ -20,7 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"zenport"
 	"zenport/internal/baseline/palmed"
@@ -30,7 +33,15 @@ import (
 	"zenport/internal/portmodel"
 )
 
+// main delegates to run so the deferred persist-store Close (journal
+// compaction) runs on every exit path, including signal cancellation.
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	blocks := flag.Int("blocks", 1000, "number of random basic blocks (paper: 5000)")
 	maxKeys := flag.Int("schemes", 0, "limit evaluated schemes (0 = all common covered schemes)")
 	seed := flag.Int64("seed", 2600, "random seed")
@@ -45,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	if *resume && *cacheDir == "" {
-		log.Fatal("-resume requires -cache-dir")
+		return fmt.Errorf("-resume requires -cache-dir")
 	}
 
 	db := zenport.ZenDB()
@@ -53,7 +64,10 @@ func main() {
 	h := zenport.NewHarness(machine)
 	h.Workers = *parallel
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the whole evaluation; the deferred store
+	// Close below still compacts the measurement journal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -70,18 +84,18 @@ func main() {
 		fp := zenport.RunFingerprint(machine, h.Engine)
 		store, err := zenport.OpenCache(*cacheDir, fp)
 		if err != nil {
-			log.Fatalf("opening cache: %v", err)
+			return fmt.Errorf("opening cache: %w", err)
 		}
 		if !*quiet {
 			store.Log = func(f string, a ...any) { log.Printf(f, a...) }
 		}
 		defer store.Close()
 		if err := store.Attach(h.Engine); err != nil {
-			log.Fatalf("attaching cache: %v", err)
+			return fmt.Errorf("attaching cache: %w", err)
 		}
 		ck, err := zenport.NewCheckpointer(*cacheDir, fp)
 		if err != nil {
-			log.Fatalf("opening checkpoints: %v", err)
+			return fmt.Errorf("opening checkpoints: %w", err)
 		}
 		opts.Checkpointer = ck
 		opts.Resume = *resume
@@ -89,7 +103,7 @@ func main() {
 	log.Printf("running inference pipeline...")
 	rep, err := zenport.InferContext(ctx, h, zenport.ZenSchemes(db), opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Evaluation schemes: compiler-common, covered by our mapping,
@@ -116,7 +130,7 @@ func main() {
 	log.Printf("training PMEvo (population %d, %d generations)...", pmevoCfg.Population, pmevoCfg.Generations)
 	pmevoMap, err := pmevo.Infer(h, keys, pmevoCfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	blockerPorts := map[string]int{}
 	for _, cls := range rep.Classes {
@@ -133,13 +147,13 @@ func main() {
 	log.Printf("fitting Palmed-style conjunctive model...")
 	palmedModel, err := palmed.Infer(h, keys, blockerPorts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	log.Printf("sampling %d basic blocks...", *blocks)
 	bs, err := eval.SampleBlocksContext(ctx, h, keys, *blocks, 5, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Compile each mapping once; the whole block sweep shares the
@@ -156,7 +170,7 @@ func main() {
 	}
 	results, err := eval.Evaluate(bs, preds, 5.5, 22)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("\n== Figure 5(a): IPC prediction accuracy over %d blocks\n", len(bs))
@@ -166,4 +180,5 @@ func main() {
 		fmt.Print(r.Heatmap.Render())
 	}
 	_ = portmodel.Experiment(nil)
+	return nil
 }

@@ -43,13 +43,26 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"zenport"
 )
 
+// main delegates to run so deferred cleanup — most importantly the
+// persist store's Close, which compacts and closes the journal — runs
+// on every exit path. log.Fatal inside the work (the old shape)
+// skipped those defers, so a Ctrl-C'd -cache-dir run left its journal
+// unflushed.
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	seed := flag.Int64("seed", 2600, "measurement noise seed")
 	noise := flag.Float64("noise", 0.001, "relative cycle-measurement noise (0 disables)")
 	maxSchemes := flag.Int("max-schemes", 0, "limit the number of schemes (0 = all)")
@@ -68,7 +81,7 @@ func main() {
 	flag.Parse()
 
 	if *resume && *cacheDir == "" {
-		log.Fatal("-resume requires -cache-dir")
+		return fmt.Errorf("-resume requires -cache-dir")
 	}
 
 	db := zenport.ZenDB()
@@ -104,24 +117,28 @@ func main() {
 		fp := zenport.RunFingerprint(fper, h.Engine)
 		store, err := zenport.OpenCache(*cacheDir, fp)
 		if err != nil {
-			log.Fatalf("opening cache: %v", err)
+			return fmt.Errorf("opening cache: %w", err)
 		}
 		if !*quiet {
 			store.Log = func(format string, args ...any) { log.Printf(format, args...) }
 		}
 		defer store.Close()
 		if err := store.Attach(h.Engine); err != nil {
-			log.Fatalf("attaching cache: %v", err)
+			return fmt.Errorf("attaching cache: %w", err)
 		}
 		ck, err := zenport.NewCheckpointer(*cacheDir, fp)
 		if err != nil {
-			log.Fatalf("opening checkpoints: %v", err)
+			return fmt.Errorf("opening checkpoints: %w", err)
 		}
 		opts.Checkpointer = ck
 		opts.Resume = *resume
 	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the inference context: measurement batches
+	// and solver queries stop promptly, and the deferred store.Close
+	// compacts the journal so the interrupted run resumes cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -130,7 +147,7 @@ func main() {
 
 	rep, err := zenport.InferContext(ctx, h, schemes, opts)
 	if err != nil {
-		log.Fatalf("inference failed: %v", err)
+		return fmt.Errorf("inference failed: %w", err)
 	}
 
 	printFunnel(rep)
@@ -156,13 +173,14 @@ func main() {
 	if *out != "" {
 		data, err := json.MarshalIndent(rep.Final, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("final mapping written to %s\n", *out)
 	}
+	return nil
 }
 
 func printFunnel(rep *zenport.Report) {

@@ -1,0 +1,288 @@
+// Command zenload replays a mixed query stream against a zenportd
+// daemon at configurable concurrency and reports latency quantiles
+// (p50/p90/p99) and sustained throughput. With -verify, every
+// prediction the daemon serves is checked bit-identical to the batch
+// evaluator (the same compiled-mapping path cmd/zeneval uses), so a
+// load run doubles as a correctness proof: caching, in-flight
+// deduplication, and evaluator pooling must not change a single bit.
+//
+// Usage:
+//
+//	zenload -url http://127.0.0.1:8080 -mapping zen=mapping.json -clients 64 -requests 5000 -verify
+//	zenload -self -mapping zen=mapping.json -clients 64 -requests 2000 -verify
+//
+// -self boots the zenportd HTTP stack in-process on a random port and
+// aims the load at it — the mode `make serve-smoke` runs under the
+// race detector.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zenport/internal/portmodel"
+	"zenport/internal/serve"
+)
+
+// mappingFlags collects repeated -mapping name=path pairs.
+type mappingFlags []struct{ name, path string }
+
+// String implements flag.Value.
+func (m *mappingFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, p := range *m {
+		parts[i] = p.name + "=" + p.path
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (m *mappingFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+// query is one request of the replayed stream with its precomputed
+// reference answer (when -verify is on).
+type query struct {
+	kind    string // "predict" or "explain"
+	body    []byte
+	wantInv uint64 // math.Float64bits of the reference bounded tp^-1
+	wantIPC uint64
+	verify  bool
+}
+
+func main() {
+	var mappings mappingFlags
+	url := flag.String("url", "", "target daemon base URL (empty with -self)")
+	self := flag.Bool("self", false, "boot the serving stack in-process on a random port")
+	clients := flag.Int("clients", 64, "concurrent client goroutines")
+	requests := flag.Int("requests", 2000, "total requests to issue")
+	distinct := flag.Int("distinct", 200, "distinct experiments in the stream")
+	hot := flag.Float64("hot", 0.8, "fraction of requests drawn from the hottest 10% of experiments")
+	seed := flag.Int64("seed", 1, "stream RNG seed")
+	rmax := flag.Float64("rmax", 5, "rmax the daemon serves with (for -verify references)")
+	verify := flag.Bool("verify", false, "check every prediction bit-identical to the batch evaluator")
+	flag.Var(&mappings, "mapping", "name=path of a mapping JSON (repeatable; first is the query target)")
+	flag.Parse()
+
+	if len(mappings) == 0 {
+		log.Fatal("zenload: specify -mapping name=path (the stream is built from its schemes)")
+	}
+	if (*url == "") == !*self {
+		log.Fatal("zenload: specify exactly one of -url and -self")
+	}
+
+	loaded := make(map[string]*portmodel.Mapping, len(mappings))
+	for _, spec := range mappings {
+		data, err := os.ReadFile(spec.path)
+		if err != nil {
+			log.Fatalf("zenload: %v", err)
+		}
+		m := new(portmodel.Mapping)
+		if err := json.Unmarshal(data, m); err != nil {
+			log.Fatalf("zenload: %s: %v", spec.path, err)
+		}
+		loaded[spec.name] = m
+	}
+	target := mappings[0].name
+	tm := loaded[target]
+
+	base := *url
+	if *self {
+		srv := serve.New(serve.Config{Rmax: *rmax})
+		for name, m := range loaded {
+			if err := srv.Load(name, m); err != nil {
+				log.Fatalf("zenload: %v", err)
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("zenload: %v", err)
+		}
+		go func() { _ = (&http.Server{Handler: srv}).Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("zenload: in-process daemon on %s\n", base)
+	}
+	base = strings.TrimRight(base, "/")
+
+	// Build the experiment pool and, with -verify, the reference
+	// answers through the exact batch path zeneval uses: one compiled
+	// evaluator, single-threaded.
+	rng := rand.New(rand.NewSource(*seed))
+	keys := tm.Keys()
+	exps := make([]portmodel.Experiment, *distinct)
+	for i := range exps {
+		e := portmodel.Experiment{}
+		for j := 0; j <= rng.Intn(4); j++ {
+			e[keys[rng.Intn(len(keys))]] += 1 + rng.Intn(4)
+		}
+		e[keys[i%len(keys)]] += 1 + i%7
+		exps[i] = e
+	}
+	var refInv, refIPC []uint64
+	if *verify {
+		c, err := portmodel.CompileMapping(tm, nil)
+		if err != nil {
+			log.Fatalf("zenload: %v", err)
+		}
+		refInv = make([]uint64, len(exps))
+		refIPC = make([]uint64, len(exps))
+		for i, e := range exps {
+			inv, err := c.InverseThroughputBounded(e, *rmax)
+			if err != nil {
+				log.Fatalf("zenload: %v", err)
+			}
+			ipc, err := c.IPC(e, *rmax)
+			if err != nil {
+				log.Fatalf("zenload: %v", err)
+			}
+			refInv[i] = math.Float64bits(inv)
+			refIPC[i] = math.Float64bits(ipc)
+		}
+	}
+
+	// The stream: hot-set skew (most load on few blocks, like a real
+	// analysis session), ~10% explains mixed into the predicts.
+	hotN := len(exps) / 10
+	if hotN < 1 {
+		hotN = 1
+	}
+	stream := make([]query, *requests)
+	for i := range stream {
+		idx := rng.Intn(len(exps))
+		if rng.Float64() < *hot {
+			idx = rng.Intn(hotN)
+		}
+		kind := "predict"
+		if rng.Float64() < 0.1 {
+			kind = "explain"
+		}
+		body, err := json.Marshal(map[string]any{"mapping": target, "experiment": exps[idx]})
+		if err != nil {
+			log.Fatalf("zenload: %v", err)
+		}
+		q := query{kind: kind, body: body}
+		if *verify && kind == "predict" {
+			q.verify, q.wantInv, q.wantIPC = true, refInv[idx], refIPC[idx]
+		}
+		stream[i] = q
+	}
+
+	// Replay at fixed concurrency: one shared index, per-client
+	// latency logs, merged afterwards.
+	var next atomic.Int64
+	var failures atomic.Uint64
+	var verified atomic.Uint64
+	lats := make([][]time.Duration, *clients)
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, *requests / *clients + 1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stream) {
+					break
+				}
+				q := stream[i]
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/"+q.kind, "application/json", bytes.NewReader(q.body))
+				if err != nil {
+					failures.Add(1)
+					log.Printf("zenload: %v", err)
+					continue
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				mine = append(mine, time.Since(t0))
+				if err != nil || resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					log.Printf("zenload: %s: status %d: %s", q.kind, resp.StatusCode, data)
+					continue
+				}
+				if q.verify {
+					var pr serve.PredictResponse
+					if err := json.Unmarshal(data, &pr); err != nil {
+						failures.Add(1)
+						log.Printf("zenload: bad predict response: %v", err)
+						continue
+					}
+					if math.Float64bits(pr.InvThroughput) != q.wantInv || math.Float64bits(pr.IPC) != q.wantIPC {
+						failures.Add(1)
+						log.Printf("zenload: MISMATCH: served (inv %v, ipc %v) != batch reference (inv %v, ipc %v)",
+							pr.InvThroughput, pr.IPC,
+							math.Float64frombits(q.wantInv), math.Float64frombits(q.wantIPC))
+						continue
+					}
+					verified.Add(1)
+				}
+			}
+			lats[c] = mine
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	fmt.Printf("zenload: %d requests, %d clients, %d distinct experiments over mapping %q\n",
+		len(stream), *clients, len(exps), target)
+	fmt.Printf("zenload: wall %.2fs, %.0f req/s\n", wall.Seconds(), float64(len(all))/wall.Seconds())
+	fmt.Printf("zenload: latency p50 %s  p90 %s  p99 %s  max %s\n", q(0.50), q(0.90), q(0.99), q(1.0))
+	if *verify {
+		fmt.Printf("zenload: %d predictions verified bit-identical to the batch evaluator\n", verified.Load())
+	}
+
+	// Pull the daemon's own counters for the report.
+	if resp, err := client.Get(base + "/v1/stats"); err == nil {
+		var st serve.StatsResponse
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			for _, ms := range st.Mappings {
+				if ms.Name == target {
+					fmt.Printf("zenload: server: %d evaluations, %d cache hits, %d coalesced, %d pool compiles\n",
+						ms.Evaluations, ms.Cache.Hits, ms.Coalesced, ms.PoolCompiles)
+				}
+			}
+		}
+		resp.Body.Close()
+	}
+
+	if n := failures.Load(); n > 0 {
+		log.Fatalf("zenload: %d failed or mismatched requests", n)
+	}
+	if *verify && verified.Load() == 0 {
+		log.Fatal("zenload: -verify set but no predictions were verified")
+	}
+}

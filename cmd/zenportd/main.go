@@ -1,0 +1,139 @@
+// Command zenportd serves inferred port mappings over HTTP/JSON:
+// basic-block throughput predictions, per-scheme port-usage
+// explanations with bottleneck-set witnesses, and diffs between
+// mappings — the batch pipeline's output turned into an analysis
+// service.
+//
+// Usage:
+//
+//	zenportd -mapping zen=mapping.json [-mapping zen2=other.json] [-addr :8080]
+//
+// Endpoints (see internal/serve):
+//
+//	GET  /healthz       liveness + loaded mapping names
+//	GET  /v1/mappings   loaded mappings
+//	POST /v1/predict    {"mapping":"zen","kernel":"2*add GPR[32], GPR[32]; mul GPR[64]"}
+//	POST /v1/explain    same body; adds per-scheme usage + witness
+//	GET  /v1/diff?a=zen&b=zen2
+//	GET  /v1/stats      cache/pool/dedup counters
+//
+// Predictions are bit-identical to batch zeneval over the same
+// mapping and rmax: the daemon runs the same compiled evaluator, and
+// cmd/zenload -verify asserts it under load. -addr :0 binds a random
+// port; the bound address is printed as "zenportd: listening on ...".
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"zenport/internal/portmodel"
+	"zenport/internal/serve"
+)
+
+// mappingFlags collects repeated -mapping name=path pairs.
+type mappingFlags []struct{ name, path string }
+
+// String implements flag.Value.
+func (m *mappingFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, p := range *m {
+		parts[i] = p.name + "=" + p.path
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (m *mappingFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var mappings mappingFlags
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	rmax := flag.Float64("rmax", 5, "frontend/retire bound in instructions per cycle (0 = none)")
+	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "per-mapping prediction LRU capacity")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size cap in bytes")
+	memo := flag.Int("memo", 0, "per-evaluator experiment memo cap (0 = default, <0 = unbounded)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	quiet := flag.Bool("quiet", false, "suppress per-error log lines")
+	flag.Var(&mappings, "mapping", "name=path of a mapping JSON to load (repeatable)")
+	flag.Parse()
+
+	if len(mappings) == 0 {
+		log.Fatal("zenportd: specify at least one -mapping name=path")
+	}
+
+	cfg := serve.Config{Rmax: *rmax, CacheSize: *cacheSize, MaxBodyBytes: *maxBody, MemoLimit: *memo}
+	if !*quiet {
+		cfg.Log = log.Printf
+	}
+	srv := serve.New(cfg)
+	for _, spec := range mappings {
+		data, err := os.ReadFile(spec.path)
+		if err != nil {
+			log.Fatalf("zenportd: %v", err)
+		}
+		var m portmodel.Mapping
+		if err := json.Unmarshal(data, &m); err != nil {
+			log.Fatalf("zenportd: %s: %v", spec.path, err)
+		}
+		if err := srv.Load(spec.name, &m); err != nil {
+			log.Fatalf("zenportd: %v", err)
+		}
+		log.Printf("zenportd: loaded mapping %q from %s (%d ports, %d schemes)",
+			spec.name, spec.path, m.NumPorts, len(m.Usage))
+	}
+
+	// The listener is opened before serving so -addr :0 callers
+	// (serve-smoke, load tests) can scrape the bound address.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("zenportd: %v", err)
+	}
+	fmt.Printf("zenportd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("zenportd: %v", err)
+		}
+	case <-ctx.Done():
+		// First signal: stop accepting, drain in-flight requests.
+		// http.Server.Shutdown returns once every connection is idle or
+		// the drain timeout forces the remainder closed.
+		stop() // a second signal kills immediately via default handling
+		log.Printf("zenportd: signal received, draining (up to %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("zenportd: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("zenportd: drained cleanly")
+	}
+}

@@ -297,9 +297,12 @@ type Engine struct {
 	// Set it before the first measurement (persist.Store.Attach does).
 	Persist PersistHook
 
-	mu       sync.Mutex
-	cache    map[string]Result
-	inflight map[string]*call
+	mu    sync.Mutex
+	cache map[string]Result
+	// flight deduplicates concurrent executions of the same canonical
+	// key. It shares mu, so the cache probe and the in-flight registry
+	// are checked atomically (see Flight).
+	flight *Flight[Result]
 	// gen is the cache generation: BeginGeneration/ClearCache bump or
 	// set it, and persisted results are keyed by it so independent
 	// re-measurement rounds (the stage-4 characterization runs) do
@@ -330,26 +333,20 @@ type Engine struct {
 	remeasured  atomic.Uint64
 }
 
-// call is one in-flight execution other submitters can wait on.
-type call struct {
-	done chan struct{}
-	res  Result
-	err  error
-}
-
 // New returns an engine with the paper's measurement parameters: 11
 // repetitions, 100 iterations per run, ε = 0.02 CPI, GOMAXPROCS
 // workers, up to 2 retries on transient errors, a 5% robust-spread
 // quality target with escalation capped at 3×Reps, and 100µs–10ms
 // retry backoff.
 func New(p Processor) *Engine {
-	return &Engine{
+	g := &Engine{
 		P: p, Reps: 11, Iterations: 100, Epsilon: 0.02, MaxRetries: 2,
 		QualitySpread: 0.05,
 		cache:         make(map[string]Result),
-		inflight:      make(map[string]*call),
 		lowConf:       make(map[string]Quality),
 	}
+	g.flight = NewFlight[Result](&g.mu)
+	return g
 }
 
 // CanonicalKey renders the experiment canonically ("n*key|m*key" in
@@ -527,62 +524,48 @@ func (g *Engine) InvThroughputs(ctx context.Context, exps []portmodel.Experiment
 	return out, nil
 }
 
-// measureKey resolves one canonical key through cache and in-flight
-// deduplication. If a concurrent leader fails, the caller retries as
-// leader itself so the error it reports reflects its own context.
+// measureKey resolves one canonical key through the cache and the
+// flight's in-flight deduplication. If a concurrent leader fails, the
+// caller retries as leader itself so the error it reports reflects its
+// own context. The probe, commit, and publish hooks run under the
+// engine mutex / outside it exactly as the pre-Flight inline code did,
+// so cache fills, low-confidence registration, generation capture, and
+// journal records keep their ordering guarantees.
 func (g *Engine) measureKey(ctx context.Context, key string, e portmodel.Experiment) (Result, error) {
-	for {
-		g.mu.Lock()
-		if r, ok := g.cache[key]; ok {
-			g.mu.Unlock()
-			g.cacheHits.Add(1)
-			g.completed.Add(1)
-			return r, nil
-		}
-		if c, ok := g.inflight[key]; ok {
-			g.mu.Unlock()
-			g.coalesced.Add(1)
-			select {
-			case <-c.done:
-				if c.err != nil {
-					continue // leader failed; try to lead ourselves
-				}
-				g.completed.Add(1)
-				return c.res, nil
-			case <-ctx.Done():
-				g.canceled.Add(1)
-				return Result{}, ctx.Err()
+	var gen uint64
+	r, out, err := g.flight.Do(ctx, key,
+		func() (Result, bool) {
+			r, ok := g.cache[key]
+			return r, ok
+		},
+		func() (Result, error) { return g.execute(ctx, e) },
+		func(r Result) {
+			g.cache[key] = r
+			if r.Quality.LowConfidence {
+				g.noteLowConfLocked(key, r.Quality)
 			}
-		}
-		c := &call{done: make(chan struct{})}
-		g.inflight[key] = c
-		g.mu.Unlock()
-
-		c.res, c.err = g.execute(ctx, e)
-		g.mu.Lock()
-		delete(g.inflight, key)
-		gen := g.gen
-		if c.err == nil {
-			g.cache[key] = c.res
-			if c.res.Quality.LowConfidence {
-				g.noteLowConfLocked(key, c.res.Quality)
+			gen = g.gen
+		},
+		func(r Result) {
+			if g.Persist != nil {
+				g.Persist.Record(gen, key, r)
 			}
+		})
+	g.coalesced.Add(uint64(out.Joined))
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			g.canceled.Add(1)
 		}
-		g.mu.Unlock()
-		if c.err == nil && g.Persist != nil {
-			g.Persist.Record(gen, key, c.res)
-		}
-		close(c.done)
-		if c.err != nil {
-			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
-				g.canceled.Add(1)
-			}
-			return Result{}, c.err
-		}
-		g.executed.Add(1)
-		g.completed.Add(1)
-		return c.res, nil
+		return Result{}, err
 	}
+	switch {
+	case out.Hit:
+		g.cacheHits.Add(1)
+	case out.Led:
+		g.executed.Add(1)
+	}
+	g.completed.Add(1)
+	return r, nil
 }
 
 // Outlier-rejection gates of the adaptive collection: a sample is an

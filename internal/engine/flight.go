@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight is a keyed singleflight group: concurrent calls with the same
+// key execute the underlying work once and share the result. It is the
+// engine's in-flight deduplication, factored out so other layers — the
+// serving daemon's per-mapping prediction dedup (internal/serve) — can
+// reuse the exact machinery instead of reimplementing its semantics:
+//
+//   - a probe hook runs under the flight's lock before leading or
+//     joining, so a cache shared with the flight is checked atomically
+//     with the in-flight registry (no probe/lead window in which a
+//     finished leader's result is missed and work repeats);
+//   - followers wait on the leader observing their own context;
+//   - when a leader fails, each waiting follower retries from the
+//     probe and may lead itself, so the error a caller reports
+//     reflects its own attempt and context;
+//   - a successful leader commits under the lock (cache fill) and then
+//     publishes outside it (journal I/O) before followers are
+//     released, so anything a follower observes is already durable.
+//
+// The zero value is not ready for use; construct with NewFlight.
+type Flight[V any] struct {
+	mu       *sync.Mutex
+	inflight map[string]*flightCall[V]
+}
+
+// flightCall is one in-flight execution other callers can wait on.
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// FlightOutcome reports how a Do call was resolved, for callers that
+// keep metrics: exactly one of Hit and Led is true unless the caller
+// was a follower for the whole call (both false), and Joined counts
+// how many in-flight leaders were awaited along the way (a follower
+// whose leader failed joins again or leads on the next loop).
+type FlightOutcome struct {
+	// Hit reports that the probe short-circuited the call.
+	Hit bool
+	// Led reports that this caller executed the work itself.
+	Led bool
+	// Joined counts the in-flight executions this caller waited on.
+	Joined int
+}
+
+// NewFlight returns a flight group guarded by mu; a nil mu gives the
+// group its own lock. Passing an external mutex lets a caller guard
+// its result cache and the in-flight registry with one lock — the
+// engine shares its cache mutex so the probe-then-lead sequence is
+// atomic with cache fills.
+func NewFlight[V any](mu *sync.Mutex) *Flight[V] {
+	if mu == nil {
+		mu = new(sync.Mutex)
+	}
+	return &Flight[V]{mu: mu, inflight: make(map[string]*flightCall[V])}
+}
+
+// Do resolves key through probe, coalesce, and execute. probe (may be
+// nil) is consulted under the lock first — returning ok short-circuits
+// with its value. If another call for key is in flight, Do waits for
+// it, honoring ctx; a failed leader makes the follower retry from the
+// probe. Otherwise the caller leads: fn runs outside the lock, and on
+// success commit (under the lock, may be nil) and then publish
+// (outside the lock, may be nil) run before waiting followers are
+// released. fn's error is returned only to the leader that ran it.
+func (f *Flight[V]) Do(
+	ctx context.Context,
+	key string,
+	probe func() (V, bool),
+	fn func() (V, error),
+	commit func(V),
+	publish func(V),
+) (V, FlightOutcome, error) {
+	var out FlightOutcome
+	for {
+		f.mu.Lock()
+		if probe != nil {
+			if v, ok := probe(); ok {
+				f.mu.Unlock()
+				out.Hit = true
+				return v, out, nil
+			}
+		}
+		if c, ok := f.inflight[key]; ok {
+			f.mu.Unlock()
+			out.Joined++
+			select {
+			case <-c.done:
+				if c.err != nil {
+					continue // leader failed; try to lead ourselves
+				}
+				return c.val, out, nil
+			case <-ctx.Done():
+				var zero V
+				return zero, out, ctx.Err()
+			}
+		}
+		c := &flightCall[V]{done: make(chan struct{})}
+		f.inflight[key] = c
+		f.mu.Unlock()
+
+		out.Led = true
+		c.val, c.err = fn()
+		f.mu.Lock()
+		delete(f.inflight, key)
+		if c.err == nil && commit != nil {
+			commit(c.val)
+		}
+		f.mu.Unlock()
+		if c.err == nil && publish != nil {
+			publish(c.val)
+		}
+		close(c.done)
+		if c.err != nil {
+			var zero V
+			return zero, out, c.err
+		}
+		return c.val, out, nil
+	}
+}

@@ -1,0 +1,191 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zenport/internal/engine"
+)
+
+// TestFlightCoalesces proves that concurrent Do calls with one key
+// execute fn exactly once and all observe the leader's value.
+func TestFlightCoalesces(t *testing.T) {
+	f := engine.NewFlight[int](nil)
+	var execs atomic.Int64
+	release := make(chan struct{})
+	const callers = 32
+
+	var wg sync.WaitGroup
+	vals := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := f.Do(context.Background(), "k", nil, func() (int, error) {
+				execs.Add(1)
+				<-release
+				return 42, nil
+			}, nil, nil)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let callers pile up on the single leader, then release it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Fatalf("caller %d observed %d, want 42", i, v)
+		}
+	}
+}
+
+// TestFlightProbeShortCircuits proves the probe answers without
+// executing fn, and that commit fills whatever the probe reads.
+func TestFlightProbeShortCircuits(t *testing.T) {
+	var mu sync.Mutex
+	cache := map[string]int{}
+	f := engine.NewFlight[int](&mu)
+	probe := func() (int, bool) { v, ok := cache["k"]; return v, ok }
+	commit := func(v int) { cache["k"] = v }
+
+	v, out, err := f.Do(context.Background(), "k", probe,
+		func() (int, error) { return 7, nil }, commit, nil)
+	if err != nil || v != 7 || !out.Led || out.Hit {
+		t.Fatalf("first call: v=%d out=%+v err=%v, want led miss 7", v, out, err)
+	}
+	v, out, err = f.Do(context.Background(), "k", probe,
+		func() (int, error) { t.Fatal("fn ran despite cached value"); return 0, nil }, commit, nil)
+	if err != nil || v != 7 || !out.Hit || out.Led {
+		t.Fatalf("second call: v=%d out=%+v err=%v, want probe hit 7", v, out, err)
+	}
+}
+
+// TestFlightFollowerRetriesFailedLeader proves that a follower whose
+// leader fails re-runs the work itself and reports its own outcome.
+func TestFlightFollowerRetriesFailedLeader(t *testing.T) {
+	f := engine.NewFlight[int](nil)
+	boom := errors.New("boom")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := f.Do(context.Background(), "k", nil, func() (int, error) {
+			calls.Add(1)
+			close(leaderIn)
+			<-release
+			return 0, boom
+		}, nil, nil)
+		if !errors.Is(err, boom) {
+			t.Errorf("leader error = %v, want boom", err)
+		}
+	}()
+
+	<-leaderIn // follower joins only once the leader is in flight
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		v, out, err := f.Do(context.Background(), "k", nil, func() (int, error) {
+			calls.Add(1)
+			return 99, nil
+		}, nil, nil)
+		if err != nil || v != 99 {
+			t.Errorf("follower: v=%d err=%v, want 99", v, err)
+		}
+		if out.Joined != 1 || !out.Led {
+			t.Errorf("follower outcome = %+v, want joined once then led", out)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	wg2.Wait()
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fn executed %d times, want 2 (failed leader + retrying follower)", n)
+	}
+}
+
+// TestFlightFollowerHonorsContext proves a waiting follower returns
+// its own context error while the leader keeps running.
+func TestFlightFollowerHonorsContext(t *testing.T) {
+	f := engine.NewFlight[int](nil)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+
+	go func() {
+		_, _, _ = f.Do(context.Background(), "k", nil, func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 1, nil
+		}, nil, nil)
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(ctx, "k", nil, func() (int, error) { return 2, nil }, nil, nil)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower did not return")
+	}
+}
+
+// TestFlightPublishBeforeRelease proves publish runs before waiting
+// followers observe the value — the ordering the persist journal
+// relies on (a follower must never see a result that is not yet
+// recorded).
+func TestFlightPublishBeforeRelease(t *testing.T) {
+	f := engine.NewFlight[int](nil)
+	var published atomic.Bool
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		_, _, _ = f.Do(context.Background(), "k", nil, func() (int, error) {
+			close(leaderIn)
+			<-release
+			return 5, nil
+		}, nil, func(int) {
+			time.Sleep(5 * time.Millisecond) // widen the race window
+			published.Store(true)
+		})
+	}()
+	<-leaderIn
+
+	done := make(chan bool, 1)
+	go func() {
+		_, _, _ = f.Do(context.Background(), "k", nil,
+			func() (int, error) { return 0, nil }, nil, nil)
+		done <- published.Load()
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	if ok := <-done; !ok {
+		t.Fatal("follower released before publish completed")
+	}
+}

@@ -877,3 +877,86 @@ func TestStoreEmptyFingerprint(t *testing.T) {
 		t.Error("NewCheckpointer accepted an empty fingerprint")
 	}
 }
+
+// cancelingBatchProc executes normally until a threshold of calls,
+// then fires the batch's CancelFunc — a SIGINT arriving mid-batch,
+// which is exactly what signal.NotifyContext in the CLIs now delivers.
+type cancelingBatchProc struct {
+	countingProc
+	cancel context.CancelFunc
+	after  int
+}
+
+func (p *cancelingBatchProc) Execute(kernel []string, iterations int) (engine.Counters, error) {
+	if p.executions+1 >= p.after && p.cancel != nil {
+		p.cancel()
+	}
+	return p.countingProc.Execute(kernel, iterations)
+}
+
+// TestStoreCancellationMidBatchRecovers: a batch cancelled partway
+// through (the signal-handling path of zeninfer/zeneval/zenbench) must
+// leave the store closeable, and the journal it flushed must hand the
+// already-executed prefix back to the next run as cache hits. This is
+// the regression test for the latent bug where log.Fatal on the
+// cancellation error skipped the deferred store.Close and left the
+// journal unflushed.
+func TestStoreCancellationMidBatchRecovers(t *testing.T) {
+	dir := t.TempDir()
+	exps := make([]portmodel.Experiment, 16)
+	for i := range exps {
+		exps[i] = portmodel.Experiment{fmt.Sprintf("k%02d", i): 1}
+	}
+
+	s, err := Open(dir, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	proc := &cancelingBatchProc{cancel: cancel}
+	eng := engine.New(proc)
+	eng.Workers = 1 // sequential keys: a deterministic completed prefix
+	// Let two full experiments complete before the "signal" arrives.
+	proc.after = 2*eng.Reps + 1
+	if err := s.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = eng.MeasureBatch(ctx, exps)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+	done := proc.executions / eng.Reps
+	if done == 0 {
+		t.Fatal("cancellation fired before any experiment completed")
+	}
+	// The deferred Close in the CLIs' run() — compacts and closes the
+	// journal even though the batch failed.
+	if err := s.Close(); err != nil {
+		t.Fatalf("closing store after cancellation: %v", err)
+	}
+
+	// The next run recovers the completed prefix from disk.
+	s2, err := Open(dir, testFP)
+	if err != nil {
+		t.Fatalf("reopening store after cancelled run: %v", err)
+	}
+	defer s2.Close()
+	proc2 := &countingProc{}
+	eng2 := engine.New(proc2)
+	eng2.Workers = 1
+	if err := s2.Attach(eng2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.MeasureBatch(context.Background(), exps); err != nil {
+		t.Fatal(err)
+	}
+	m := eng2.Metrics()
+	if int(m.CacheHits) < done {
+		t.Fatalf("recovered run: %d cache hits, want at least the %d completed before cancellation", m.CacheHits, done)
+	}
+	if proc2.executions >= len(exps)*eng2.Reps {
+		t.Fatalf("recovered run re-executed everything (%d executions): journal was not recovered", proc2.executions)
+	}
+}

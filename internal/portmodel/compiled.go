@@ -46,6 +46,9 @@ type Compiled struct {
 	touched []int32
 	keyBuf  []byte
 	memo    map[string]memoVal
+	// memoLimit caps len(memo); 0 means DefaultMemoLimit, negative
+	// means unlimited. See SetMemoLimit.
+	memoLimit int
 }
 
 // cuop is one packed µop: admissible ports and multiplicity.
@@ -63,6 +66,15 @@ type memoVal struct {
 
 // maxCompiledCount bounds a packed µop multiplicity.
 const maxCompiledCount = 255
+
+// DefaultMemoLimit is the default cap on the number of memoized
+// experiment evaluations a Compiled holds. The memo was originally
+// unbounded — harmless in a batch run whose experiment universe is
+// fixed, but a memory leak in a long-running server fed a diverse
+// query stream. The limit trades recall for boundedness; eviction is
+// clear-on-full (see evalExperiment), which keeps every result
+// bit-identical — the memo only ever caches exact values.
+const DefaultMemoLimit = 4096
 
 // CompileMapping compiles a mapping over the given scheme universe.
 // A nil universe compiles every key of the mapping. Every universe
@@ -138,6 +150,27 @@ func (c *Compiled) Keys() []string { return c.keys }
 func (c *Compiled) Index(key string) (int32, bool) {
 	i, ok := c.index[key]
 	return i, ok
+}
+
+// SetMemoLimit caps the experiment memo at n entries (0 restores
+// DefaultMemoLimit, negative disables the cap). When the memo is full
+// a new distinct experiment clears it entirely — O(1) amortized, no
+// bookkeeping on the hit path, and results stay bit-identical because
+// the memo holds nothing but exact evaluations. Long-running servers
+// keep the default; batch runs over a fixed experiment universe may
+// disable the cap.
+func (c *Compiled) SetMemoLimit(n int) { c.memoLimit = n }
+
+// MemoSize returns the number of memoized experiment evaluations,
+// for tests and serving statistics.
+func (c *Compiled) MemoSize() int { return len(c.memo) }
+
+// memoCap resolves the effective memo capacity (<0 = unlimited).
+func (c *Compiled) memoCap() int {
+	if c.memoLimit == 0 {
+		return DefaultMemoLimit
+	}
+	return c.memoLimit
 }
 
 // SetUop replaces the port set of the j-th µop of the given scheme
@@ -336,6 +369,9 @@ func (c *Compiled) evalExperiment(e Experiment) (memoVal, error) {
 	}
 	q, inv := c.evalVec(c.w)
 	v := memoVal{q: q, inv: inv, total: int32(total)}
+	if limit := c.memoCap(); limit > 0 && len(c.memo) >= limit {
+		clear(c.memo)
+	}
 	c.memo[string(c.keyBuf)] = v
 	for _, i := range c.touched {
 		c.w[i] = 0

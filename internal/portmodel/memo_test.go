@@ -1,0 +1,139 @@
+package portmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// memoTestMapping builds a small mapping with enough schemes to
+// generate thousands of distinct experiments.
+func memoTestMapping(t *testing.T, schemes int) *Mapping {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	m := NewMapping(6)
+	for i := 0; i < schemes; i++ {
+		u := Usage{}
+		for j := 0; j <= rng.Intn(3); j++ {
+			var ps PortSet
+			for ps == 0 {
+				ps = PortSet(rng.Intn(1 << 6))
+			}
+			u = append(u, Uop{Ports: ps, Count: 1 + rng.Intn(3)})
+		}
+		m.Set(fmt.Sprintf("scheme-%02d", i), u)
+	}
+	return m
+}
+
+// TestCompiledMemoBounded feeds a Compiled far more distinct
+// experiments than its memo cap and asserts (1) the memo never exceeds
+// the cap — the daemon's defense against unbounded growth under a
+// diverse query stream — and (2) every result, before and after
+// evictions and including re-queries of evicted keys, stays
+// bit-identical to the reference evaluator.
+func TestCompiledMemoBounded(t *testing.T) {
+	m := memoTestMapping(t, 24)
+	c, err := CompileMapping(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 64
+	c.SetMemoLimit(limit)
+
+	rng := rand.New(rand.NewSource(11))
+	keys := m.Keys()
+	exps := make([]Experiment, 4*limit)
+	for i := range exps {
+		e := Experiment{}
+		for j := 0; j <= rng.Intn(4); j++ {
+			e[keys[rng.Intn(len(keys))]] += 1 + rng.Intn(5)
+		}
+		// Make every experiment distinct regardless of the random
+		// draws above.
+		e[keys[i%len(keys)]] += i + 1
+		exps[i] = e
+	}
+
+	check := func(e Experiment) {
+		got, err := c.InverseThroughput(e)
+		if err != nil {
+			t.Fatalf("compiled: %v", err)
+		}
+		want, err := m.InverseThroughput(e)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("experiment %v: compiled %v != reference %v", e, got, want)
+		}
+		gq, gi, err := c.BottleneckWitness(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wq, wi, err := m.BottleneckWitness(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gq != wq || math.Float64bits(gi) != math.Float64bits(wi) {
+			t.Fatalf("experiment %v: witness (%v,%v) != reference (%v,%v)", e, gq, gi, wq, wi)
+		}
+	}
+
+	for i, e := range exps {
+		check(e)
+		if n := c.MemoSize(); n > limit {
+			t.Fatalf("after %d distinct experiments: memo holds %d entries, cap %d", i+1, n, limit)
+		}
+	}
+	if n := c.MemoSize(); n > limit || n == 0 {
+		t.Fatalf("final memo size %d, want within (0,%d]", n, limit)
+	}
+	// Re-query everything: evicted keys must recompute identically.
+	for _, e := range exps {
+		check(e)
+	}
+}
+
+// TestCompiledMemoDefaultLimit asserts the zero-value configuration is
+// bounded (the pre-fix behavior — unbounded growth — was the bug).
+func TestCompiledMemoDefaultLimit(t *testing.T) {
+	m := memoTestMapping(t, 12)
+	c, err := CompileMapping(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := m.Keys()
+	for i := 0; i < DefaultMemoLimit+100; i++ {
+		e := Experiment{keys[i%len(keys)]: i + 1, keys[(i+1)%len(keys)]: 1}
+		if _, err := c.InverseThroughput(e); err != nil {
+			t.Fatal(err)
+		}
+		if n := c.MemoSize(); n > DefaultMemoLimit {
+			t.Fatalf("memo grew to %d entries, default cap %d", n, DefaultMemoLimit)
+		}
+	}
+}
+
+// TestCompiledMemoUnlimited keeps the explicit opt-out working: a
+// negative limit never evicts.
+func TestCompiledMemoUnlimited(t *testing.T) {
+	m := memoTestMapping(t, 12)
+	c, err := CompileMapping(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMemoLimit(-1)
+	keys := m.Keys()
+	const n = 500
+	for i := 0; i < n; i++ {
+		e := Experiment{keys[i%len(keys)]: i + 1}
+		if _, err := c.InverseThroughput(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.MemoSize(); got != n {
+		t.Fatalf("unlimited memo holds %d entries after %d distinct experiments", got, n)
+	}
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"zenport/internal/lp"
+	"zenport/internal/portmodel"
+)
+
+// evalPool hands out per-goroutine evaluator sets for one mapping.
+// Both portmodel.Compiled and lp.ThroughputEvaluator are documented
+// single-goroutine — their scratch buffers, memo, and warm-start basis
+// are unsynchronized by design, because the inference pipeline's hot
+// loops own one evaluator each. A server handling concurrent requests
+// must therefore never share one evaluator across handlers; this pool
+// gives every in-flight request exclusive use of a compiled evaluator
+// (and a lazily built LP cross-checker) and recycles them through a
+// sync.Pool, so steady-state serving compiles nothing and allocates
+// only what the runtime's pool shards need.
+//
+// Results are independent of which pooled evaluator answers a query:
+// a Compiled is a pure function of its mapping (the memo only caches
+// exact values), so pooling preserves the bit-identical-to-batch
+// guarantee the load driver asserts.
+type evalPool struct {
+	m *portmodel.Mapping
+	// memoLimit caps each evaluator's experiment memo; 0 keeps the
+	// portmodel default. Every pooled evaluator gets its own memo, so
+	// the worst-case memory is memoLimit × live evaluators — bounded
+	// by the request concurrency.
+	memoLimit int
+	pool      sync.Pool // holds *evaluators
+	compiles  atomic.Uint64
+}
+
+// evaluators is one exclusive evaluator set: the compiled combinatorial
+// evaluator plus an LP cross-checker built on first use.
+type evaluators struct {
+	c  *portmodel.Compiled
+	lp *lp.ThroughputEvaluator
+}
+
+// newEvalPool validates that the mapping compiles and returns a pool
+// for it.
+func newEvalPool(m *portmodel.Mapping, memoLimit int) (*evalPool, error) {
+	p := &evalPool{m: m, memoLimit: memoLimit}
+	ev, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	p.put(ev)
+	return p, nil
+}
+
+// get returns an exclusive evaluator set, compiling a fresh one when
+// the pool is empty (startup, or after the GC trimmed it).
+func (p *evalPool) get() (*evaluators, error) {
+	if v := p.pool.Get(); v != nil {
+		return v.(*evaluators), nil
+	}
+	c, err := portmodel.CompileMapping(p.m, nil)
+	if err != nil {
+		return nil, err
+	}
+	if p.memoLimit != 0 {
+		c.SetMemoLimit(p.memoLimit)
+	}
+	p.compiles.Add(1)
+	return &evaluators{c: c}, nil
+}
+
+// put returns an evaluator set to the pool.
+func (p *evalPool) put(ev *evaluators) { p.pool.Put(ev) }
+
+// lpEval returns the evaluator set's LP cross-checker, building it on
+// first use (most requests never ask for it).
+func (ev *evaluators) lpEval(m *portmodel.Mapping) (*lp.ThroughputEvaluator, error) {
+	if ev.lp == nil {
+		e, err := lp.NewThroughputEvaluator(m)
+		if err != nil {
+			return nil, err
+		}
+		ev.lp = e
+	}
+	return ev.lp, nil
+}

@@ -1,0 +1,720 @@
+// Package serve is the port-mapping-as-a-service layer: an HTTP/JSON
+// front end over inferred port mappings, turning the batch research
+// pipeline's output (zeninfer's mapping.json) into an analysis
+// service in the spirit of pmtestbench's analyze-bb.py and the
+// uops.info lookup service. It answers
+//
+//   - basic-block / experiment throughput predictions (POST
+//     /v1/predict), bit-identical to the batch evaluator cmd/zeneval
+//     uses (both run portmodel.Compiled over the same mapping);
+//   - per-scheme port-usage explanations with a bottleneck-set
+//     witness (POST /v1/explain), the paper's explainability artifact;
+//   - structural diffs between two loaded mappings (GET/POST
+//     /v1/diff), e.g. two inference runs or two machine generations.
+//
+// The serving hot path composes three layers, each reused from the
+// batch stack rather than reimplemented:
+//
+//   - an evaluator pool (evalPool): portmodel.Compiled and
+//     lp.ThroughputEvaluator are single-goroutine by contract, so
+//     every in-flight request borrows an exclusive evaluator from a
+//     sync.Pool — no locks on the evaluation itself, no shared
+//     scratch state, race-detector clean at any concurrency;
+//   - in-flight deduplication (engine.Flight): concurrent identical
+//     requests — same canonical experiment key, the engine's cache
+//     identity — evaluate once and share the result;
+//   - a bounded per-mapping LRU over canonical keys, so hot blocks
+//     are answered without touching the pool at all.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"zenport/internal/engine"
+	"zenport/internal/portmodel"
+	"zenport/internal/zen"
+)
+
+// Defaults for the Config zero value.
+const (
+	// DefaultCacheSize is the per-mapping prediction LRU capacity.
+	DefaultCacheSize = 4096
+	// DefaultMaxBodyBytes caps a request body at 1 MiB.
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// Config tunes a Server. The zero value serves with the defaults
+// above, no frontend bound, and no logging.
+type Config struct {
+	// Rmax is the frontend/retire bottleneck in instructions per cycle
+	// applied to bounded predictions and IPC (0 = no bound). It must
+	// match the batch evaluator's setting for predictions to be
+	// byte-identical (the Zen+ machine uses 5).
+	Rmax float64
+	// CacheSize bounds each mapping's prediction LRU (0 = default).
+	CacheSize int
+	// MaxBodyBytes bounds request bodies (0 = default 1 MiB).
+	MaxBodyBytes int64
+	// MemoLimit caps each pooled evaluator's experiment memo
+	// (0 = portmodel.DefaultMemoLimit, negative = unbounded).
+	MemoLimit int
+	// Log, if non-nil, receives one-line request notices.
+	Log func(format string, args ...any)
+}
+
+// Server is the HTTP handler serving one or more loaded mappings.
+// Load every mapping before serving; handlers are safe for concurrent
+// use afterwards.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	start    time.Time
+	mappings map[string]*handle
+	names    []string // sorted mapping names
+
+	requests atomic.Uint64
+	errs     atomic.Uint64
+}
+
+// handle is one loaded mapping with its serving machinery.
+type handle struct {
+	name   string
+	m      *portmodel.Mapping
+	keys   []string // sorted scheme keys, the suggestion universe
+	pool   *evalPool
+	cache  *lruCache[prediction]
+	flight *engine.Flight[prediction]
+
+	evals     atomic.Uint64 // pool evaluations (cache+flight misses)
+	coalesced atomic.Uint64 // requests that joined an in-flight twin
+}
+
+// prediction is the cached evaluation of one canonical experiment
+// key. All fields are pure functions of (mapping, experiment, rmax),
+// so cache and singleflight sharing cannot change any served value.
+type prediction struct {
+	inv      float64 // tp^-1, unbounded (pure port model)
+	invB     float64 // max(tp^-1, total/rmax)
+	ipc      float64 // portmodel.Compiled.IPC(e, rmax)
+	witness  portmodel.PortSet
+	witnessV float64
+	total    int
+}
+
+// New returns a server with no mappings loaded.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{cfg: cfg, start: time.Now(), mappings: make(map[string]*handle)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/mappings", s.handleMappings)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
+	s.mux.HandleFunc("/v1/diff", s.handleDiff)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// Load registers a mapping under a name. It validates that the
+// mapping compiles and is not safe to call concurrently with serving:
+// load everything at startup, as cmd/zenportd does.
+func (s *Server) Load(name string, m *portmodel.Mapping) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty mapping name")
+	}
+	if _, dup := s.mappings[name]; dup {
+		return fmt.Errorf("serve: mapping %q already loaded", name)
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("serve: mapping %q: %w", name, err)
+	}
+	pool, err := newEvalPool(m, s.cfg.MemoLimit)
+	if err != nil {
+		return fmt.Errorf("serve: mapping %q: %w", name, err)
+	}
+	s.mappings[name] = &handle{
+		name:   name,
+		m:      m,
+		keys:   m.Keys(),
+		pool:   pool,
+		cache:  newLRU[prediction](s.cfg.CacheSize),
+		flight: engine.NewFlight[prediction](nil),
+	}
+	s.names = append(s.names, name)
+	sort.Strings(s.names)
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError is an error with a fixed HTTP status and a stable,
+// test-asserted message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+// Error implements error.
+func (e *httpError) Error() string { return e.msg }
+
+// errf builds an httpError.
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError emits the JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.errs.Add(1)
+	he := &httpError{status: http.StatusInternalServerError, msg: "serve: internal error: " + err.Error()}
+	var known *httpError
+	if errors.As(err, &known) {
+		he = known
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		he = &httpError{status: http.StatusServiceUnavailable, msg: "serve: request canceled"}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(he.status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": he.msg})
+	if s.cfg.Log != nil {
+		s.cfg.Log("serve: error %d: %s", he.status, he.msg)
+	}
+}
+
+// writeJSON emits a 200 JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// requireMethod rejects other HTTP methods with a stable message.
+func requireMethod(r *http.Request, methods ...string) error {
+	for _, m := range methods {
+		if r.Method == m {
+			return nil
+		}
+	}
+	return errf(http.StatusMethodNotAllowed, "serve: method %q not allowed on %s", r.Method, r.URL.Path)
+}
+
+// decodeJSON reads the request body into v under the configured size
+// cap, mapping decode failures to the stable error strings the
+// handler tests assert.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return errf(http.StatusRequestEntityTooLarge, "serve: request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return errf(http.StatusBadRequest, "serve: malformed JSON request body")
+	}
+	return nil
+}
+
+// lookup resolves a mapping name to its handle.
+func (s *Server) lookup(name string) (*handle, error) {
+	if name == "" {
+		return nil, errf(http.StatusBadRequest, "serve: missing mapping name")
+	}
+	h, ok := s.mappings[name]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "serve: mapping %q not loaded (loaded: %s)",
+			name, strings.Join(s.names, ", "))
+	}
+	return h, nil
+}
+
+// ParseKernel parses the CLI kernel syntax "N*key; M*key" (the format
+// zenmap -predict uses) into an experiment. Scheme keys contain
+// commas, so terms are ';'-separated.
+func ParseKernel(sr string) (portmodel.Experiment, error) {
+	e := portmodel.Experiment{}
+	for _, t := range strings.Split(sr, ";") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		count := 1
+		if i := strings.Index(t, "*"); i > 0 {
+			if n, err := strconv.Atoi(strings.TrimSpace(t[:i])); err == nil {
+				count = n
+				t = strings.TrimSpace(t[i+1:])
+			}
+		}
+		e[t] += count
+	}
+	return e, nil
+}
+
+// experimentOf resolves the kernel-or-experiment pair of a request
+// body into a validated experiment over the handle's mapping.
+func (h *handle) experimentOf(kernel string, exp map[string]int) (portmodel.Experiment, error) {
+	if kernel != "" && len(exp) > 0 {
+		return nil, errf(http.StatusBadRequest, "serve: specify either kernel or experiment, not both")
+	}
+	var e portmodel.Experiment
+	if kernel != "" {
+		e, _ = ParseKernel(kernel)
+	} else {
+		e = portmodel.Experiment(exp)
+	}
+	total := 0
+	for key, n := range e {
+		if n < 0 {
+			return nil, errf(http.StatusBadRequest, "serve: negative count %d for scheme %q", n, key)
+		}
+		if n == 0 {
+			continue
+		}
+		if _, ok := h.m.Usage[key]; !ok {
+			if sugg := zen.SuggestKeys(h.keys, key, 3); len(sugg) > 0 {
+				return nil, errf(http.StatusBadRequest, "serve: unknown scheme %q in mapping %q, did you mean %s?",
+					key, h.name, strings.Join(sugg, ", "))
+			}
+			return nil, errf(http.StatusBadRequest, "serve: unknown scheme %q in mapping %q", key, h.name)
+		}
+		total += n
+	}
+	if total == 0 {
+		return nil, errf(http.StatusBadRequest, "serve: empty experiment")
+	}
+	return e, nil
+}
+
+// predict resolves an experiment through LRU, singleflight, and the
+// evaluator pool. The canonical key — engine.CanonicalKey, the same
+// identity the measurement cache uses — collapses permutations of the
+// same multiset, so "add;mul" and "mul;add" share one cache entry and
+// concurrent identical queries evaluate once.
+func (h *handle) predict(r *http.Request, e portmodel.Experiment, rmax float64) (prediction, engine.FlightOutcome, error) {
+	key := engine.CanonicalKey(e)
+	p, out, err := h.flight.Do(r.Context(), key,
+		func() (prediction, bool) { return h.cache.get(key) },
+		func() (prediction, error) { return h.evaluate(e, rmax) },
+		func(p prediction) { h.cache.add(key, p) },
+		nil)
+	h.coalesced.Add(uint64(out.Joined))
+	return p, out, err
+}
+
+// evaluate computes a prediction on an exclusive pooled evaluator.
+func (h *handle) evaluate(e portmodel.Experiment, rmax float64) (prediction, error) {
+	ev, err := h.pool.get()
+	if err != nil {
+		return prediction{}, err
+	}
+	defer h.pool.put(ev)
+	h.evals.Add(1)
+	q, inv, err := ev.c.BottleneckWitness(e)
+	if err != nil {
+		return prediction{}, err
+	}
+	invB, err := ev.c.InverseThroughputBounded(e, rmax)
+	if err != nil {
+		return prediction{}, err
+	}
+	ipc, err := ev.c.IPC(e, rmax)
+	if err != nil {
+		return prediction{}, err
+	}
+	return prediction{inv: inv, invB: invB, ipc: ipc, witness: q, witnessV: inv, total: e.Len()}, nil
+}
+
+// lpCrossCheck solves the throughput LP for the experiment on a
+// pooled evaluator — an independent simplex-based answer to the same
+// LP the combinatorial evaluator solves exactly.
+func (h *handle) lpCrossCheck(e portmodel.Experiment) (float64, error) {
+	ev, err := h.pool.get()
+	if err != nil {
+		return 0, err
+	}
+	defer h.pool.put(ev)
+	lpe, err := ev.lpEval(h.m)
+	if err != nil {
+		return 0, err
+	}
+	return lpe.InverseThroughput(e)
+}
+
+// ---- wire types ----
+
+// PredictRequest is the body of POST /v1/predict.
+type PredictRequest struct {
+	// Mapping names a loaded mapping.
+	Mapping string `json:"mapping"`
+	// Kernel is the CLI syntax "2*add GPR[32], GPR[32]; vpor XMM, XMM, XMM".
+	Kernel string `json:"kernel,omitempty"`
+	// Experiment is the explicit multiset form; exactly one of Kernel
+	// and Experiment must be set.
+	Experiment map[string]int `json:"experiment,omitempty"`
+	// LPCheck additionally solves the Section 2.2 LP with the simplex
+	// solver and reports its value (a consistency cross-check).
+	LPCheck bool `json:"lp_check,omitempty"`
+}
+
+// Bottleneck is a bottleneck-set witness: the port set Q maximizing
+// mass(Q)/|Q|, rendered both as a port list and a bitmask.
+type Bottleneck struct {
+	Ports []int   `json:"ports"`
+	Mask  uint16  `json:"mask"`
+	Width int     `json:"width"`
+	Value float64 `json:"value"`
+}
+
+// PredictResponse is the answer of POST /v1/predict.
+type PredictResponse struct {
+	Mapping      string         `json:"mapping"`
+	Experiment   map[string]int `json:"experiment"`
+	Instructions int            `json:"instructions"`
+	// InvThroughput is max(tp^-1, instructions/rmax) in cycles per
+	// iteration — the value zenmap -predict prints.
+	InvThroughput float64 `json:"inv_throughput"`
+	// InvThroughputUnbounded is the pure port-model tp^-1.
+	InvThroughputUnbounded float64 `json:"inv_throughput_unbounded"`
+	// IPC is instructions per cycle under the rmax cap — the value
+	// cmd/zeneval's predictors report, bit-identical.
+	IPC        float64    `json:"ipc"`
+	Rmax       float64    `json:"rmax"`
+	Bottleneck Bottleneck `json:"bottleneck"`
+	// Cached reports an LRU hit; Coalesced that the request shared a
+	// concurrent identical evaluation.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// LPInvThroughput is the simplex cross-check (with lp_check).
+	LPInvThroughput *float64 `json:"lp_inv_throughput,omitempty"`
+}
+
+// UopJSON is the wire form of one µop, matching mapping.json.
+type UopJSON struct {
+	Ports []int `json:"ports"`
+	Count int   `json:"count"`
+}
+
+// SchemeUsage explains one scheme of an experiment.
+type SchemeUsage struct {
+	Key    string    `json:"key"`
+	Count  int       `json:"count"`
+	Uops   []UopJSON `json:"uops"`
+	Pretty string    `json:"pretty"`
+}
+
+// ExplainRequest is the body of POST /v1/explain.
+type ExplainRequest struct {
+	Mapping    string         `json:"mapping"`
+	Kernel     string         `json:"kernel,omitempty"`
+	Experiment map[string]int `json:"experiment,omitempty"`
+}
+
+// ExplainResponse is the answer of POST /v1/explain: the per-scheme
+// port usage of the experiment plus the bottleneck-set witness that
+// proves the throughput bound — the paper's explainability artifact.
+type ExplainResponse struct {
+	Mapping       string         `json:"mapping"`
+	Experiment    map[string]int `json:"experiment"`
+	Instructions  int            `json:"instructions"`
+	NumPorts      int            `json:"num_ports"`
+	InvThroughput float64        `json:"inv_throughput"`
+	Bottleneck    Bottleneck     `json:"bottleneck"`
+	Schemes       []SchemeUsage  `json:"schemes"`
+	Explanation   string         `json:"explanation"`
+}
+
+// DiffEntry is one scheme whose usage differs between two mappings.
+type DiffEntry struct {
+	Key     string    `json:"key"`
+	A       []UopJSON `json:"a"`
+	B       []UopJSON `json:"b"`
+	APretty string    `json:"a_pretty"`
+	BPretty string    `json:"b_pretty"`
+}
+
+// DiffResponse is the answer of /v1/diff.
+type DiffResponse struct {
+	A         string      `json:"a"`
+	B         string      `json:"b"`
+	NumPortsA int         `json:"num_ports_a"`
+	NumPortsB int         `json:"num_ports_b"`
+	SchemesA  int         `json:"schemes_a"`
+	SchemesB  int         `json:"schemes_b"`
+	OnlyA     []string    `json:"only_a"`
+	OnlyB     []string    `json:"only_b"`
+	Differing []DiffEntry `json:"differing"`
+	Identical int         `json:"identical"`
+}
+
+// MappingInfo describes one loaded mapping.
+type MappingInfo struct {
+	Name     string  `json:"name"`
+	NumPorts int     `json:"num_ports"`
+	Schemes  int     `json:"schemes"`
+	Rmax     float64 `json:"rmax"`
+}
+
+// CacheStats is one mapping's LRU counters.
+type CacheStats struct {
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// MappingStats is one mapping's serving counters.
+type MappingStats struct {
+	Name         string     `json:"name"`
+	Cache        CacheStats `json:"cache"`
+	Evaluations  uint64     `json:"evaluations"`
+	Coalesced    uint64     `json:"coalesced"`
+	PoolCompiles uint64     `json:"pool_compiles"`
+}
+
+// StatsResponse is the answer of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      uint64         `json:"requests"`
+	Errors        uint64         `json:"errors"`
+	Mappings      []MappingStats `json:"mappings"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if err := requireMethod(r, http.MethodGet); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, map[string]any{"status": "ok", "mappings": s.names})
+}
+
+func (s *Server) handleMappings(w http.ResponseWriter, r *http.Request) {
+	if err := requireMethod(r, http.MethodGet); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := make([]MappingInfo, 0, len(s.names))
+	for _, name := range s.names {
+		h := s.mappings[name]
+		out = append(out, MappingInfo{Name: name, NumPorts: h.m.NumPorts, Schemes: len(h.keys), Rmax: s.cfg.Rmax})
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := s.predictCommon(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	h, err := s.lookup(req.Mapping)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	e, err := h.experimentOf(req.Kernel, req.Experiment)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, out, err := h.predict(r, e, s.cfg.Rmax)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := PredictResponse{
+		Mapping:                h.name,
+		Experiment:             e,
+		Instructions:           p.total,
+		InvThroughput:          p.invB,
+		InvThroughputUnbounded: p.inv,
+		IPC:                    p.ipc,
+		Rmax:                   s.cfg.Rmax,
+		Bottleneck:             bottleneckOf(p),
+		Cached:                 out.Hit,
+		Coalesced:              out.Joined > 0,
+	}
+	if req.LPCheck {
+		v, err := h.lpCrossCheck(e)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp.LPInvThroughput = &v
+	}
+	s.writeJSON(w, resp)
+}
+
+// predictCommon factors the method check and body decode shared by
+// predict and explain.
+func (s *Server) predictCommon(w http.ResponseWriter, r *http.Request, v any) error {
+	if err := requireMethod(r, http.MethodPost); err != nil {
+		return err
+	}
+	return s.decodeJSON(w, r, v)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := s.predictCommon(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	h, err := s.lookup(req.Mapping)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	e, err := h.experimentOf(req.Kernel, req.Experiment)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p, _, err := h.predict(r, e, s.cfg.Rmax)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	bn := bottleneckOf(p)
+	schemes := make([]SchemeUsage, 0, len(e))
+	for _, key := range e.Keys() {
+		if e[key] == 0 {
+			continue
+		}
+		u, _ := h.m.Get(key)
+		schemes = append(schemes, SchemeUsage{Key: key, Count: e[key], Uops: uopsJSON(u), Pretty: u.String()})
+	}
+	s.writeJSON(w, ExplainResponse{
+		Mapping:       h.name,
+		Experiment:    e,
+		Instructions:  p.total,
+		NumPorts:      h.m.NumPorts,
+		InvThroughput: p.inv,
+		Bottleneck:    bn,
+		Schemes:       schemes,
+		Explanation: fmt.Sprintf(
+			"ports %v are the bottleneck: µop mass %.4g confined to them over %d port(s) gives tp⁻¹ = %.4g cycles/iteration",
+			bn.Ports, p.witnessV*float64(bn.Width), bn.Width, p.inv),
+	})
+}
+
+// DiffRequest is the body of POST /v1/diff (GET uses ?a=&b=).
+type DiffRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	var req DiffRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.A, req.B = r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	case http.MethodPost:
+		if err := s.decodeJSON(w, r, &req); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	default:
+		s.writeError(w, errf(http.StatusMethodNotAllowed, "serve: method %q not allowed on %s", r.Method, r.URL.Path))
+		return
+	}
+	ha, err := s.lookup(req.A)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	hb, err := s.lookup(req.B)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := DiffResponse{
+		A: ha.name, B: hb.name,
+		NumPortsA: ha.m.NumPorts, NumPortsB: hb.m.NumPorts,
+		SchemesA: len(ha.keys), SchemesB: len(hb.keys),
+		OnlyA: []string{}, OnlyB: []string{}, Differing: []DiffEntry{},
+	}
+	for _, key := range ha.keys {
+		ub, ok := hb.m.Get(key)
+		if !ok {
+			resp.OnlyA = append(resp.OnlyA, key)
+			continue
+		}
+		ua, _ := ha.m.Get(key)
+		if ua.Equal(ub) {
+			resp.Identical++
+			continue
+		}
+		resp.Differing = append(resp.Differing, DiffEntry{
+			Key: key, A: uopsJSON(ua), B: uopsJSON(ub),
+			APretty: ua.String(), BPretty: ub.String(),
+		})
+	}
+	for _, key := range hb.keys {
+		if _, ok := ha.m.Get(key); !ok {
+			resp.OnlyB = append(resp.OnlyB, key)
+		}
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if err := requireMethod(r, http.MethodGet); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errs.Load(),
+		Mappings:      make([]MappingStats, 0, len(s.names)),
+	}
+	for _, name := range s.names {
+		h := s.mappings[name]
+		entries, capacity, hits, misses := h.cache.stats()
+		out.Mappings = append(out.Mappings, MappingStats{
+			Name:         name,
+			Cache:        CacheStats{Entries: entries, Capacity: capacity, Hits: hits, Misses: misses},
+			Evaluations:  h.evals.Load(),
+			Coalesced:    h.coalesced.Load(),
+			PoolCompiles: h.pool.compiles.Load(),
+		})
+	}
+	s.writeJSON(w, out)
+}
+
+// bottleneckOf renders a prediction's witness.
+func bottleneckOf(p prediction) Bottleneck {
+	return Bottleneck{
+		Ports: p.witness.Ports(),
+		Mask:  uint16(p.witness),
+		Width: p.witness.Size(),
+		Value: p.witnessV,
+	}
+}
+
+// uopsJSON renders a usage in the mapping.json wire form.
+func uopsJSON(u portmodel.Usage) []UopJSON {
+	out := make([]UopJSON, 0, len(u))
+	for _, x := range u.Clone().Normalize() {
+		out = append(out, UopJSON{Ports: x.Ports.Ports(), Count: x.Count})
+	}
+	return out
+}

@@ -147,13 +147,23 @@ func (db *DB) SchemeByKey(key string) (*Spec, error) {
 // distance, preferring keys sharing the mnemonic prefix. Ties break
 // lexicographically so the output is deterministic.
 func (db *DB) Suggest(key string, n int) []string {
+	return SuggestKeys(db.Keys(), key, n)
+}
+
+// SuggestKeys is the "did you mean" engine behind Suggest, usable
+// against any key universe — the serving daemon suggests over the
+// keys of the queried mapping rather than the full Zen+ database.
+// It returns up to n quoted candidates from keys closest to key by
+// edit distance, preferring a shared mnemonic prefix; ties break
+// lexicographically (pass keys sorted for fully deterministic output).
+func SuggestKeys(keys []string, key string, n int) []string {
 	type cand struct {
 		key  string
 		dist int
 	}
 	mn := strings.SplitN(key, " ", 2)[0]
 	var cands []cand
-	for _, k := range db.Keys() {
+	for _, k := range keys {
 		d := editDistance(key, k)
 		// A shared mnemonic is a much stronger signal than raw
 		// distance over the operand suffix.

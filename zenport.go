@@ -34,6 +34,7 @@ import (
 	"zenport/internal/persist"
 	"zenport/internal/portmodel"
 	"zenport/internal/sat"
+	"zenport/internal/serve"
 	"zenport/internal/smt"
 	"zenport/internal/zen"
 	"zenport/internal/zensim"
@@ -134,6 +135,15 @@ type (
 	CacheStore = persist.Store
 	// Checkpointer persists pipeline stage outcomes for -resume.
 	Checkpointer = persist.Checkpointer
+
+	// MappingServer is the HTTP/JSON handler serving loaded port
+	// mappings: throughput predictions bit-identical to the batch
+	// evaluator, per-scheme explanations with bottleneck witnesses, and
+	// mapping diffs. cmd/zenportd is a thin wrapper around it.
+	MappingServer = serve.Server
+	// MappingServerConfig tunes a MappingServer (rmax, prediction LRU
+	// size, request body cap, evaluator memo cap).
+	MappingServerConfig = serve.Config
 )
 
 // MakePortSet builds a PortSet from port indices.
@@ -154,6 +164,16 @@ func Exp(keys ...string) Experiment { return portmodel.Exp(keys...) }
 func CompileMapping(m *Mapping, universe []string) (*CompiledMapping, error) {
 	return portmodel.CompileMapping(m, universe)
 }
+
+// NewMappingServer returns an http.Handler serving port mappings.
+// Load every mapping before serving; handlers are then safe for
+// concurrent use and answer with bits identical to the batch
+// evaluator over the same mapping and rmax.
+func NewMappingServer(cfg MappingServerConfig) *MappingServer { return serve.New(cfg) }
+
+// ParseKernel parses the CLI kernel syntax "N*key; M*key" (the format
+// zenmap -predict and the serving API accept) into an experiment.
+func ParseKernel(s string) (Experiment, error) { return serve.ParseKernel(s) }
 
 // ZenDB builds the Zen+ instruction scheme database with ground
 // truth (1,100+ schemes).
