@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race soak solver-soak serve-smoke verify bench bench-smoke clean
+.PHONY: build test vet race soak solver-soak shard-soak serve-smoke verify bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test:
 # wrapper, the pipeline on top of them (kill-and-resume golden tests),
 # and the serving layer (evaluator pool, prediction LRU, HTTP hammer).
 race:
-	$(GO) test -race -timeout 20m ./internal/engine/... ./internal/chaos/... ./internal/core/... ./internal/serve/...
+	$(GO) test -race -timeout 20m ./internal/engine/... ./internal/chaos/... ./internal/core/... ./internal/serve/... ./internal/shard/...
 
 # serve-smoke boots the zenportd HTTP stack in-process under the race
 # detector and replays a mixed 64-client query stream against it,
@@ -43,6 +43,16 @@ soak:
 # to the fault-free golden run.
 solver-soak:
 	$(GO) test -race -timeout 20m -run 'TestChaosConsistentLie|TestPipelineBudget|TestPipelineRetryUnresolvedOnResume|TestSupervised|TestUnsatCore' -v ./internal/chaos/ ./internal/core/ ./internal/smt/
+
+# shard-soak runs the distributed-campaign soak under the race
+# detector: a 3-shard campaign where one shard process is killed with
+# SIGKILL mid-stage-4 and its slice is stolen by a survivor via lease
+# takeover (the shard processes re-exec the race-built test binary),
+# plus the degraded-merge leg where a permanently missing slice leaves
+# its schemes unresolved instead of failing the merge. The merged
+# mapping must be byte-identical to the single-process golden run.
+shard-soak:
+	$(GO) test -race -timeout 20m -run 'TestShardCampaign|TestShardMerge' -v ./internal/shard/
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # the full test suite, and pass the race detector on the concurrent

@@ -93,6 +93,13 @@ func run() error {
 	h.Workers = *parallel
 	h.QualitySpread = *qualitySpread
 	if *cacheDir != "" {
+		// Exclusive lock: a second process on the same cache directory
+		// fails fast instead of interleaving journal writes.
+		lk, err := zenport.LockCacheDir(*cacheDir)
+		if err != nil {
+			return err
+		}
+		defer lk.Unlock()
 		store, err := zenport.OpenCache(*cacheDir, zenport.RunFingerprint(fper, h.Engine))
 		if err != nil {
 			return fmt.Errorf("opening cache: %w", err)

@@ -81,6 +81,13 @@ func run() error {
 	opts.SolverBudget = zenport.SolverBudget{MaxConflicts: *solverBudget}
 	opts.MaxSlack = *maxSlack
 	if *cacheDir != "" {
+		// Exclusive lock: a second process on the same cache directory
+		// fails fast instead of interleaving journal writes.
+		lk, err := zenport.LockCacheDir(*cacheDir)
+		if err != nil {
+			return err
+		}
+		defer lk.Unlock()
 		fp := zenport.RunFingerprint(machine, h.Engine)
 		store, err := zenport.OpenCache(*cacheDir, fp)
 		if err != nil {

@@ -65,7 +65,18 @@ func (m *mappingFlags) Set(v string) error {
 	return nil
 }
 
+// main delegates to run so deferred cleanup runs on every exit path
+// — log.Fatalf or os.Exit inside the work (the old shape) skipped the
+// defers, so an error during a drain left resources behind and made it
+// impossible to ever attach cleanup that must run (a persist store's
+// Close, a lease release).
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("zenportd: %v", err)
+	}
+}
+
+func run() error {
 	var mappings mappingFlags
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
 	rmax := flag.Float64("rmax", 5, "frontend/retire bound in instructions per cycle (0 = none)")
@@ -78,7 +89,7 @@ func main() {
 	flag.Parse()
 
 	if len(mappings) == 0 {
-		log.Fatal("zenportd: specify at least one -mapping name=path")
+		return errors.New("specify at least one -mapping name=path")
 	}
 
 	cfg := serve.Config{Rmax: *rmax, CacheSize: *cacheSize, MaxBodyBytes: *maxBody, MemoLimit: *memo}
@@ -89,14 +100,14 @@ func main() {
 	for _, spec := range mappings {
 		data, err := os.ReadFile(spec.path)
 		if err != nil {
-			log.Fatalf("zenportd: %v", err)
+			return err
 		}
 		var m portmodel.Mapping
 		if err := json.Unmarshal(data, &m); err != nil {
-			log.Fatalf("zenportd: %s: %v", spec.path, err)
+			return fmt.Errorf("%s: %w", spec.path, err)
 		}
 		if err := srv.Load(spec.name, &m); err != nil {
-			log.Fatalf("zenportd: %v", err)
+			return err
 		}
 		log.Printf("zenportd: loaded mapping %q from %s (%d ports, %d schemes)",
 			spec.name, spec.path, m.NumPorts, len(m.Usage))
@@ -106,7 +117,7 @@ func main() {
 	// (serve-smoke, load tests) can scrape the bound address.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("zenportd: %v", err)
+		return err
 	}
 	fmt.Printf("zenportd: listening on http://%s\n", ln.Addr())
 
@@ -120,7 +131,7 @@ func main() {
 	select {
 	case err := <-done:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("zenportd: %v", err)
+			return err
 		}
 	case <-ctx.Done():
 		// First signal: stop accepting, drain in-flight requests.
@@ -131,9 +142,9 @@ func main() {
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
-			log.Printf("zenportd: drain incomplete: %v", err)
-			os.Exit(1)
+			return fmt.Errorf("drain incomplete: %w", err)
 		}
 		log.Printf("zenportd: drained cleanly")
 	}
+	return nil
 }

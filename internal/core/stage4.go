@@ -49,6 +49,9 @@ func (p *Pipeline) stage4(ctx context.Context, rep *Report) error {
 		if _, isBlocked := rep.BlockerMapping.Usage[key]; isBlocked {
 			continue
 		}
+		if p.Opts.CharacterizeFilter != nil && !p.Opts.CharacterizeFilter(key) {
+			continue
+		}
 		todo = append(todo, key)
 	}
 	sort.Strings(todo)

@@ -16,12 +16,117 @@ import (
 	"zenport/internal/portmodel"
 )
 
-// File names inside a cache directory.
+// File names inside a cache directory. Epoch 0 — the only epoch a
+// non-sharded run ever uses — keeps the legacy names; later writer
+// epochs (lease takeovers in sharded campaigns) get epoch-suffixed
+// names so two owners of the same slice directory can never append to
+// the same file.
 const (
 	journalFile  = "journal.zpj"
 	snapshotFile = "snapshot.json"
 	tmpSuffix    = ".tmp"
 )
+
+// journalName returns the journal file name of a writer epoch.
+func journalName(epoch uint64) string {
+	if epoch == 0 {
+		return journalFile
+	}
+	return fmt.Sprintf("journal-e%04d.zpj", epoch)
+}
+
+// snapshotName returns the snapshot file name of a writer epoch.
+func snapshotName(epoch uint64) string {
+	if epoch == 0 {
+		return snapshotFile
+	}
+	return fmt.Sprintf("snapshot-e%04d.json", epoch)
+}
+
+// parseEpochName recognizes journal/snapshot files of any epoch.
+func parseEpochName(name string) (epoch uint64, isJournal, ok bool) {
+	switch name {
+	case journalFile:
+		return 0, true, true
+	case snapshotFile:
+		return 0, false, true
+	}
+	if rest, found := strings.CutPrefix(name, "journal-e"); found {
+		if num, found := strings.CutSuffix(rest, ".zpj"); found {
+			if e, err := strconv.ParseUint(num, 10, 64); err == nil {
+				return e, true, true
+			}
+		}
+	}
+	if rest, found := strings.CutPrefix(name, "snapshot-e"); found {
+		if num, found := strings.CutSuffix(rest, ".json"); found {
+			if e, err := strconv.ParseUint(num, 10, 64); err == nil {
+				return e, false, true
+			}
+		}
+	}
+	return 0, false, false
+}
+
+// epochFile is one journal or snapshot file found in a cache
+// directory.
+type epochFile struct {
+	epoch uint64
+	path  string
+}
+
+// listEpochFiles scans a cache directory for journal and snapshot
+// files of every writer epoch, each list sorted by ascending epoch.
+func listEpochFiles(dir string) (journals, snapshots []epochFile, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		epoch, isJournal, ok := parseEpochName(e.Name())
+		if !ok {
+			continue
+		}
+		f := epochFile{epoch: epoch, path: filepath.Join(dir, e.Name())}
+		if isJournal {
+			journals = append(journals, f)
+		} else {
+			snapshots = append(snapshots, f)
+		}
+	}
+	sort.Slice(journals, func(i, j int) bool { return journals[i].epoch < journals[j].epoch })
+	sort.Slice(snapshots, func(i, j int) bool { return snapshots[i].epoch < snapshots[j].epoch })
+	return journals, snapshots, nil
+}
+
+// MaxEpoch returns the highest writer epoch with a journal or snapshot
+// file in dir (0 when none exist). The lease protocol uses it to pick
+// a takeover epoch strictly above anything ever written in the
+// directory, even when the lease file itself was lost.
+func MaxEpoch(dir string) (uint64, error) {
+	journals, snapshots, err := listEpochFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, f := range journals {
+		if f.epoch > max {
+			max = f.epoch
+		}
+	}
+	for _, f := range snapshots {
+		if f.epoch > max {
+			max = f.epoch
+		}
+	}
+	return max, nil
+}
 
 // compactThreshold is the journal size (bytes) past which a batch
 // boundary triggers compaction into the snapshot.
@@ -45,9 +150,22 @@ type snapshot struct {
 // counter separates independent re-measurement rounds (the stage-4
 // characterization runs). Within one generation every key holds at
 // most one result.
+//
+// A store additionally carries a writer epoch (OpenEpoch). Epochs make
+// lease takeover in sharded campaigns safe: each owner of a slice
+// directory appends to its own epoch's journal and compacts into its
+// own epoch's snapshot, so a hung previous owner that wakes up after
+// its slice was stolen can never interleave frames into — or clobber
+// the snapshot of — the new owner. Its writes land in its own files,
+// and because measurements are deterministic per (generation, key),
+// recovery merging every epoch's files reads duplicated keys with
+// identical values. Non-sharded runs always use epoch 0 (the legacy
+// file names) and additionally hold LockDir, so they never see
+// concurrent writers at all.
 type Store struct {
 	dir         string
 	fingerprint string
+	epoch       uint64
 
 	mu      sync.Mutex
 	journal *os.File
@@ -67,77 +185,104 @@ type Store struct {
 
 var _ engine.PersistHook = (*Store)(nil)
 
-// Open opens (or creates) the cache directory and recovers its state.
-// A journal or snapshot written under a different fingerprint or a
-// damaged header is invalidated: the store logs the reason and starts
-// fresh, because cached measurements from another configuration are
-// worse than no cache. Torn journal tails are truncated and the valid
-// prefix is kept.
+// Open opens (or creates) the cache directory and recovers its state
+// under writer epoch 0 — the non-sharded form. A journal or snapshot
+// written under a different fingerprint or a damaged header is
+// invalidated: the store logs the reason and starts fresh, because
+// cached measurements from another configuration are worse than no
+// cache. Torn journal tails are truncated and the valid prefix is
+// kept.
 func Open(dir, fingerprint string) (*Store, error) {
+	return OpenEpoch(dir, fingerprint, 0)
+}
+
+// OpenEpoch opens the cache directory as writer epoch `epoch`: state
+// recovery merges the snapshots and journals of every epoch found in
+// the directory (ascending epoch order, later epochs win), but all
+// subsequent appends and compactions go to this epoch's own files.
+// The shard lease protocol hands each successive owner of a slice
+// directory a strictly increasing epoch, which is what keeps a stolen
+// slice safe from its previous — possibly merely hung — owner.
+func OpenEpoch(dir, fingerprint string, epoch uint64) (*Store, error) {
 	if fingerprint == "" {
 		return nil, fmt.Errorf("persist: empty fingerprint")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, fingerprint: fingerprint, records: make(map[uint64]map[string]Record)}
+	s := &Store{dir: dir, fingerprint: fingerprint, epoch: epoch, records: make(map[uint64]map[string]Record)}
 
-	// Snapshot first: it holds the compacted history.
-	snap, err := readSnapshot(filepath.Join(dir, snapshotFile), fingerprint)
-	switch {
-	case err == nil:
-		for _, r := range snap {
-			s.insert(r)
-		}
-	case isStale(err):
-		s.logf("persist: discarding snapshot: %v", err)
-		if err := os.Remove(filepath.Join(dir, snapshotFile)); err != nil && !os.IsNotExist(err) {
-			return nil, err
-		}
-	default:
+	journals, snapshots, err := listEpochFiles(dir)
+	if err != nil {
 		return nil, err
 	}
 
-	// Journal on top: records since the last compaction.
-	jpath := filepath.Join(dir, journalFile)
-	rec, err := ReadJournal(jpath, fingerprint)
-	switch {
-	case err == nil:
-		if rec.TornBytes > 0 {
-			s.logf("persist: truncating %d torn journal byte(s) after crash", rec.TornBytes)
-		}
-		for _, r := range rec.Records {
-			s.insert(r)
-		}
-		if len(rec.Records) > 0 {
-			s.dirty = true
-		}
-	case isStale(err):
-		s.logf("persist: discarding journal: %v", err)
-		rec = &RecoveredJournal{}
-		if err := os.Remove(jpath); err != nil && !os.IsNotExist(err) {
+	// Snapshots first: they hold the compacted history of each epoch.
+	for _, sf := range snapshots {
+		snap, err := readSnapshot(sf.path, fingerprint)
+		switch {
+		case err == nil:
+			for _, r := range snap {
+				s.insert(r)
+			}
+		case isStale(err):
+			s.logf("persist: discarding snapshot %s: %v", filepath.Base(sf.path), err)
+			if err := os.Remove(sf.path); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		default:
 			return nil, err
 		}
-	default:
-		return nil, err
 	}
 
-	// Open the journal for appending, truncated to its valid prefix
-	// (or freshly created with a header frame).
+	// Journals on top: records since each epoch's last compaction. Only
+	// our own epoch's journal is truncated to its valid prefix — other
+	// epochs' files are not ours to rewrite (a hung previous owner may
+	// still hold an open descriptor on its own journal).
+	var ownGood int64
+	for _, jf := range journals {
+		rec, err := ReadJournal(jf.path, fingerprint)
+		switch {
+		case err == nil:
+			if rec.TornBytes > 0 {
+				s.logf("persist: ignoring %d torn byte(s) in %s after crash", rec.TornBytes, filepath.Base(jf.path))
+			}
+			for _, r := range rec.Records {
+				s.insert(r)
+			}
+			if len(rec.Records) > 0 {
+				s.dirty = true
+			}
+			if jf.epoch == epoch {
+				ownGood = rec.GoodSize
+			}
+		case isStale(err):
+			s.logf("persist: discarding journal %s: %v", filepath.Base(jf.path), err)
+			if err := os.Remove(jf.path); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		default:
+			return nil, err
+		}
+	}
+
+	// Open our epoch's journal for appending, truncated to its valid
+	// prefix (or freshly created with a header frame).
+	jpath := filepath.Join(dir, journalName(epoch))
 	f, err := os.OpenFile(jpath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if rec.GoodSize > 0 {
-		if err := f.Truncate(rec.GoodSize); err != nil {
+	if ownGood > 0 {
+		if err := f.Truncate(ownGood); err != nil {
 			f.Close()
 			return nil, err
 		}
-		if _, err := f.Seek(rec.GoodSize, 0); err != nil {
+		if _, err := f.Seek(ownGood, 0); err != nil {
 			f.Close()
 			return nil, err
 		}
-		s.journalBytes = rec.GoodSize
+		s.journalBytes = ownGood
 	} else {
 		hdr, err := encodeHeaderFrame(fingerprint)
 		if err != nil {
@@ -157,6 +302,9 @@ func Open(dir, fingerprint string) (*Store, error) {
 	s.journal = f
 	return s, nil
 }
+
+// Epoch returns the store's writer epoch.
+func (s *Store) Epoch() uint64 { return s.epoch }
 
 // isStale classifies recovery errors that invalidate (rather than
 // abort on) persisted state.
@@ -257,9 +405,13 @@ func (s *Store) Compact() error {
 	return s.compactLocked()
 }
 
-// compactLocked writes the full in-memory state into the snapshot
-// atomically (write temp, fsync, rename), then resets the journal to
-// just its header. A crash between the rename and the reset leaves
+// compactLocked writes the full in-memory state into this epoch's
+// snapshot atomically (write temp, fsync, rename), then resets this
+// epoch's journal to just its header and garbage-collects the files of
+// strictly older epochs (their records are now folded into our
+// snapshot; a hung older owner still appending to an unlinked journal
+// writes into the void, harmlessly — its results are deterministic
+// duplicates of ours). A crash between the rename and the reset leaves
 // records present in both files; recovery merges them idempotently.
 func (s *Store) compactLocked() error {
 	if !s.dirty {
@@ -272,9 +424,10 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	sum := fmt.Sprintf("%08x", crc32Sum(data))
-	if err := atomicWrite(filepath.Join(s.dir, snapshotFile), append([]byte(sum+"\n"), data...)); err != nil {
+	if err := atomicWrite(filepath.Join(s.dir, snapshotName(s.epoch)), append([]byte(sum+"\n"), data...)); err != nil {
 		return err
 	}
+	s.removeOlderEpochsLocked()
 	if s.journal == nil {
 		s.dirty = false
 		return nil
@@ -298,6 +451,110 @@ func (s *Store) compactLocked() error {
 	s.journalBytes = int64(len(hdr))
 	s.dirty = false
 	return nil
+}
+
+// removeOlderEpochsLocked garbage-collects journal and snapshot files
+// of epochs strictly below ours; their contents are folded into the
+// snapshot we just wrote. Strictly below: a zombie owner compacting at
+// epoch e must never delete the files of the owner that displaced it
+// at e+1. Removal failures are logged, not fatal — stale files merely
+// cost a redundant merge at the next recovery.
+func (s *Store) removeOlderEpochsLocked() {
+	journals, snapshots, err := listEpochFiles(s.dir)
+	if err != nil {
+		s.logf("persist: epoch gc scan: %v", err)
+		return
+	}
+	for _, f := range append(journals, snapshots...) {
+		if f.epoch >= s.epoch {
+			continue
+		}
+		if err := os.Remove(f.path); err != nil && !os.IsNotExist(err) {
+			s.logf("persist: epoch gc %s: %v", filepath.Base(f.path), err)
+		}
+	}
+}
+
+// AbsorbRecords merges externally recovered records (a slice
+// directory's state, during campaign merge) into the store. The
+// records are journaled into the snapshot at the next compaction;
+// callers that need them durable call Compact.
+func (s *Store) AbsorbRecords(recs []Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		if r.Key == "" {
+			continue
+		}
+		s.insert(r)
+	}
+	if len(recs) > 0 {
+		s.dirty = true
+	}
+}
+
+// ReadState recovers every record persisted in dir — all epochs'
+// snapshots and journals, ascending epoch order, later epochs winning —
+// without opening the directory for writing. Unlike OpenEpoch it treats
+// a fingerprint mismatch as a hard error rather than invalidating the
+// files: the campaign merge uses ReadState to *validate* that each
+// slice was measured under the campaign fingerprint, and silently
+// discarding a mismatched slice would turn a configuration error into
+// quietly missing data. Torn journal tails are still tolerated (the
+// valid prefix is returned), and a directory with no persisted state
+// returns no records.
+func ReadState(dir, fingerprint string) ([]Record, error) {
+	if fingerprint == "" {
+		return nil, fmt.Errorf("persist: empty fingerprint")
+	}
+	journals, snapshots, err := listEpochFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	merged := make(map[uint64]map[string]Record)
+	insert := func(r Record) {
+		g, ok := merged[r.Gen]
+		if !ok {
+			g = make(map[string]Record)
+			merged[r.Gen] = g
+		}
+		g[r.Key] = r
+	}
+	for _, sf := range snapshots {
+		recs, err := readSnapshot(sf.path, fingerprint)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Base(sf.path), err)
+		}
+		for _, r := range recs {
+			insert(r)
+		}
+	}
+	for _, jf := range journals {
+		rec, err := ReadJournal(jf.path, fingerprint)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Base(jf.path), err)
+		}
+		for _, r := range rec.Records {
+			insert(r)
+		}
+	}
+	var out []Record
+	var gens []uint64
+	for g := range merged {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	for _, g := range gens {
+		keys := make([]string, 0, len(merged[g]))
+		for k := range merged[g] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, merged[g][k])
+		}
+	}
+	return out, nil
 }
 
 // sortedRecordsLocked flattens the in-memory state in (gen, key)
@@ -470,6 +727,12 @@ func readSnapshot(path, fingerprint string) ([]Record, error) {
 }
 
 func crc32Sum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory (write, fsync, rename). The shard layer uses it for lease,
+// manifest, and result files, which are read without locks and must
+// therefore never be observed torn.
+func WriteFileAtomic(path string, data []byte) error { return atomicWrite(path, data) }
 
 // atomicWrite writes data to path via a temp file in the same
 // directory: write, fsync, rename — so readers observe either the old

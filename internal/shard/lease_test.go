@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLeaseAcquireBeatRelease: the basic tenure of a single owner.
+func TestLeaseAcquireBeatRelease(t *testing.T) {
+	dir := t.TempDir()
+	h, l, err := TryAcquire(dir, "owner-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == nil {
+		t.Fatal("fresh directory: acquisition refused")
+	}
+	if l.Epoch != 1 || l.Owner != "owner-a" {
+		t.Fatalf("fresh lease = %+v, want epoch 1 owner-a", l)
+	}
+	if err := h.Beat(7); err != nil {
+		t.Fatal(err)
+	}
+	obs, err := Observe(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Beat != 7 || obs.Epoch != 1 {
+		t.Fatalf("observed %+v, want epoch 1 beat 7", obs)
+	}
+	// Beats never go backwards.
+	if err := h.Beat(3); err != nil {
+		t.Fatal(err)
+	}
+	obs, _ = Observe(dir)
+	if obs.Beat != 7 {
+		t.Fatalf("beat went backwards: %+v", obs)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseLiveOwnerBlocks: while an owner holds the lease, a second
+// acquirer is refused and handed the current observation.
+func TestLeaseLiveOwnerBlocks(t *testing.T) {
+	dir := t.TempDir()
+	h, _, err := TryAcquire(dir, "owner-a")
+	if err != nil || h == nil {
+		t.Fatalf("first acquire: %v %v", h, err)
+	}
+	defer h.Release()
+	h2, obs, err := TryAcquire(dir, "owner-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != nil {
+		t.Fatal("second acquire succeeded while owner alive")
+	}
+	if obs.Owner != "owner-a" || obs.Epoch != 1 {
+		t.Fatalf("observation = %+v, want owner-a epoch 1", obs)
+	}
+}
+
+// TestLeaseDeadOwnerTakeover: a released owner lock (what the kernel
+// does on any process death, SIGKILL included) lets the next acquirer
+// take over immediately with a higher epoch.
+func TestLeaseDeadOwnerTakeover(t *testing.T) {
+	dir := t.TempDir()
+	h, _, err := TryAcquire(dir, "owner-a")
+	if err != nil || h == nil {
+		t.Fatalf("first acquire: %v %v", h, err)
+	}
+	h.Release() // the kernel's flock release on process death
+
+	h2, l2, err := TryAcquire(dir, "owner-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 == nil {
+		t.Fatal("takeover of dead owner refused")
+	}
+	defer h2.Release()
+	if l2.Epoch != 2 || l2.Owner != "owner-b" {
+		t.Fatalf("takeover lease = %+v, want epoch 2 owner-b", l2)
+	}
+}
+
+// TestLeaseStealHungOwner: a live owner whose beat froze is displaced
+// by Steal; its next Beat reports ErrLeaseLost.
+func TestLeaseStealHungOwner(t *testing.T) {
+	dir := t.TempDir()
+	hung, _, err := TryAcquire(dir, "owner-a")
+	if err != nil || hung == nil {
+		t.Fatalf("first acquire: %v %v", hung, err)
+	}
+	defer hung.Release()
+	_ = hung.Beat(4)
+
+	// The thief observes the live owner...
+	h2, obs, err := TryAcquire(dir, "owner-b")
+	if err != nil || h2 != nil {
+		t.Fatalf("expected refusal while owner alive: %v %v", h2, err)
+	}
+	// ...and, after its staleness threshold elapsed, steals.
+	stolen, l2, err := Steal(dir, "owner-b", obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stolen == nil {
+		t.Fatal("steal of frozen owner refused")
+	}
+	defer stolen.Release()
+	if l2.Epoch != 2 {
+		t.Fatalf("stolen lease = %+v, want epoch 2", l2)
+	}
+	if err := hung.Beat(5); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("displaced owner's Beat = %v, want ErrLeaseLost", err)
+	}
+	if !hung.Lost() {
+		t.Fatal("displaced owner did not latch Lost")
+	}
+	if err := stolen.Beat(1); err != nil {
+		t.Fatalf("new owner's Beat: %v", err)
+	}
+}
+
+// TestLeaseStealAbortsOnProgress: Steal re-validates under the lock —
+// an owner that advanced its beat between observation and steal keeps
+// the lease.
+func TestLeaseStealAbortsOnProgress(t *testing.T) {
+	dir := t.TempDir()
+	h, _, err := TryAcquire(dir, "owner-a")
+	if err != nil || h == nil {
+		t.Fatalf("acquire: %v %v", h, err)
+	}
+	defer h.Release()
+	_, obs, err := TryAcquire(dir, "owner-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Beat(obs.Beat + 10); err != nil {
+		t.Fatal(err)
+	}
+	stolen, cur, err := Steal(dir, "owner-b", obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stolen != nil {
+		t.Fatal("steal succeeded although the owner advanced")
+	}
+	if cur.Beat != obs.Beat+10 {
+		t.Fatalf("current lease = %+v, want beat %d", cur, obs.Beat+10)
+	}
+	if err := h.Beat(cur.Beat + 1); err != nil {
+		t.Fatalf("surviving owner's Beat: %v", err)
+	}
+}
+
+// TestLeaseEpochSkipsPersistedFiles: a takeover epoch lands strictly
+// above any epoch that ever wrote a journal or snapshot in the
+// directory, even when the lease file is gone — so a recovered
+// directory can never hand out a writer epoch that collides with old
+// state.
+func TestLeaseEpochSkipsPersistedFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal-e0005.zpj"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, l, err := TryAcquire(dir, "owner-a")
+	if err != nil || h == nil {
+		t.Fatalf("acquire: %v %v", h, err)
+	}
+	defer h.Release()
+	if l.Epoch != 6 {
+		t.Fatalf("epoch = %d, want 6 (above persisted journal-e0005)", l.Epoch)
+	}
+}

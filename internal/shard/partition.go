@@ -1,0 +1,72 @@
+// Package shard implements distributed sharded inference campaigns:
+// the scheme universe is partitioned deterministically into N slices,
+// each slice is executed by whichever shard process holds its
+// crash-tolerant lease, and the per-slice results are merged — with
+// fingerprint validation — into one mapping plus one compacted
+// measurement snapshot.
+//
+// The design leans entirely on determinism. Stages 1–3 of the
+// pipeline (scheme funnel, blocking classes, CEGAR blocker mapping)
+// are global prerequisites, so every shard runs them over the full
+// universe and — because measurement noise is derived per (seed,
+// kernel, execution index), independent of scheduling — obtains
+// byte-identical results. Stage 4 characterization is embarrassingly
+// parallel per scheme, so each shard restricts it to its slice via
+// core.Options.CharacterizeFilter. A slice's results are therefore
+// identical no matter which shard executes it, when, or after how many
+// crashes — which is what makes work stealing safe: re-executing a
+// dead shard's slice replays the same journal records (dedup by
+// canonical key) and converges on the same bytes.
+//
+// Crash tolerance is layered:
+//
+//   - a killed shard's flocks are released by the kernel instantly, so
+//     any survivor's next TryAcquire takes the slice over;
+//   - a hung shard keeps its flocks but stops advancing its lease
+//     heartbeat, so survivors steal the slice after a deterministic
+//     staleness threshold (Steal);
+//   - every successive owner of a slice directory writes under its own
+//     persist epoch (persist.OpenEpoch), so a hung previous owner that
+//     wakes up can never interleave writes into the new owner's files;
+//   - a slice whose shard never reports is degraded, not fatal: the
+//     merge flags its schemes Unresolved and completes.
+package shard
+
+import "sort"
+
+// Partition splits the scheme universe into n slices: the keys are
+// sorted, de-duplicated, and dealt round-robin (sorted[i] goes to
+// slice i mod n). The result depends only on the key *set* and n —
+// never on input ordering — so every shard process, and every re-run,
+// computes byte-identical slices; and round-robin over sorted keys
+// keeps slice sizes within one of each other. Every key lands in
+// exactly one slice. n beyond the universe size yields empty tail
+// slices, which run (and merge) trivially.
+func Partition(universe []string, n int) [][]string {
+	if n < 1 {
+		n = 1
+	}
+	sorted := append([]string(nil), universe...)
+	sort.Strings(sorted)
+	slices := make([][]string, n)
+	prev := ""
+	for i, seen := 0, 0; i < len(sorted); i++ {
+		if seen > 0 && sorted[i] == prev {
+			continue
+		}
+		slices[seen%n] = append(slices[seen%n], sorted[i])
+		prev = sorted[i]
+		seen++
+	}
+	return slices
+}
+
+// Membership returns a set-membership filter over one slice, the
+// function handed to core.Options.CharacterizeFilter.
+func Membership(slice []string) func(key string) bool {
+	set := make(map[string]bool, len(slice))
+	for _, k := range slice {
+		set[k] = true
+	}
+	return func(key string) bool { return set[key] }
+}

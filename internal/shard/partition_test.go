@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// testUniverse builds a synthetic scheme-key universe of the given
+// size with a deterministic shuffle seed.
+func testUniverse(n int, seed int64) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Deliberately non-sorted construction order.
+		keys[i] = string(rune('a'+(i*7)%26)) + " scheme " + string(rune('0'+(i%10))) + "#" + json.Number(jsonInt(i)).String()
+	}
+	rand.New(rand.NewSource(seed)).Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	return keys
+}
+
+func jsonInt(i int) string {
+	b, _ := json.Marshal(i)
+	return string(b)
+}
+
+// TestPartitionExactlyOnce: every key of the universe lands in exactly
+// one slice, for a table of universe sizes and shard counts —
+// including shard counts above the universe size.
+func TestPartitionExactlyOnce(t *testing.T) {
+	cases := []struct {
+		universe int
+		shards   int
+	}{
+		{1, 1}, {2, 1}, {5, 2}, {15, 3}, {16, 4}, {100, 7}, {1400, 16}, {3, 8}, {0, 3},
+	}
+	for _, c := range cases {
+		u := testUniverse(c.universe, 1)
+		slices := Partition(u, c.shards)
+		if len(slices) != c.shards {
+			t.Fatalf("universe=%d shards=%d: got %d slices", c.universe, c.shards, len(slices))
+		}
+		seen := map[string]int{}
+		for _, s := range slices {
+			for _, k := range s {
+				seen[k]++
+			}
+		}
+		if len(seen) != c.universe {
+			t.Fatalf("universe=%d shards=%d: %d distinct keys across slices", c.universe, c.shards, len(seen))
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Fatalf("universe=%d shards=%d: key %q in %d slices", c.universe, c.shards, k, n)
+			}
+		}
+		// Balance: round-robin over sorted keys keeps sizes within 1.
+		min, max := c.universe, 0
+		for _, s := range slices {
+			if len(s) < min {
+				min = len(s)
+			}
+			if len(s) > max {
+				max = len(s)
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("universe=%d shards=%d: slice sizes range %d..%d", c.universe, c.shards, min, max)
+		}
+	}
+}
+
+// TestPartitionOrderIndependent: the partition depends only on the
+// key set, never on the order the universe was supplied in.
+func TestPartitionOrderIndependent(t *testing.T) {
+	base := Partition(testUniverse(137, 1), 5)
+	for seed := int64(2); seed < 8; seed++ {
+		got := Partition(testUniverse(137, seed), 5)
+		a, _ := json.Marshal(base)
+		b, _ := json.Marshal(got)
+		if string(a) != string(b) {
+			t.Fatalf("partition differs between input orderings (seed %d)", seed)
+		}
+	}
+}
+
+// TestPartitionRepartitionIdentical: re-partitioning the same
+// (universe, N) is byte-identical — the property the campaign manifest
+// check relies on.
+func TestPartitionRepartitionIdentical(t *testing.T) {
+	u := testUniverse(211, 3)
+	a, _ := json.Marshal(Partition(u, 4))
+	for i := 0; i < 5; i++ {
+		b, _ := json.Marshal(Partition(u, 4))
+		if string(a) != string(b) {
+			t.Fatal("re-partition of identical inputs produced different bytes")
+		}
+	}
+}
+
+// TestPartitionDeduplicates: duplicate keys collapse to one slot.
+func TestPartitionDeduplicates(t *testing.T) {
+	slices := Partition([]string{"b", "a", "b", "a", "c"}, 2)
+	total := 0
+	for _, s := range slices {
+		total += len(s)
+	}
+	if total != 3 {
+		t.Fatalf("expected 3 keys after dedup, got %d", total)
+	}
+}
+
+// TestMembership: the filter accepts exactly the slice's keys.
+func TestMembership(t *testing.T) {
+	u := testUniverse(30, 1)
+	slices := Partition(u, 3)
+	for i, s := range slices {
+		f := Membership(s)
+		for _, k := range s {
+			if !f(k) {
+				t.Fatalf("slice %d: filter rejects own key %q", i, k)
+			}
+		}
+		for j, other := range slices {
+			if j == i {
+				continue
+			}
+			for _, k := range other {
+				if f(k) {
+					t.Fatalf("slice %d: filter accepts slice %d's key %q", i, j, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package shard_test
+
+// raceEnabled mirrors the chaos package's gate: heavy soak variants
+// that the subprocess campaign already covers are skipped under the
+// race detector's ~10x slowdown.
+const raceEnabled = false

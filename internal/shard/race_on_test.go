@@ -1,0 +1,8 @@
+//go:build race
+
+package shard_test
+
+// raceEnabled is true in race-instrumented builds; redundant in-process
+// campaign variants are skipped there — the subprocess soak re-execs
+// the race-built binary and covers the same ground with the detector on.
+const raceEnabled = true

@@ -35,6 +35,7 @@ import (
 	"zenport/internal/portmodel"
 	"zenport/internal/sat"
 	"zenport/internal/serve"
+	"zenport/internal/shard"
 	"zenport/internal/smt"
 	"zenport/internal/zen"
 	"zenport/internal/zensim"
@@ -135,6 +136,29 @@ type (
 	CacheStore = persist.Store
 	// Checkpointer persists pipeline stage outcomes for -resume.
 	Checkpointer = persist.Checkpointer
+	// CacheLock is an exclusive advisory lock on a cache directory,
+	// released automatically by the kernel if the process dies.
+	CacheLock = persist.FileLock
+
+	// ShardManifest pins a sharded campaign's configuration:
+	// fingerprint, shard count, and the deterministic partition of the
+	// scheme universe.
+	ShardManifest = shard.Manifest
+	// ShardConfig configures one shard process's campaign
+	// participation (owner identity, home slice, work stealing).
+	ShardConfig = shard.Config
+	// ShardRun is the work order handed to a shard's pipeline
+	// callback: one owned slice, its writer epoch, and the stage-4
+	// filter.
+	ShardRun = shard.SliceRun
+	// ShardOutcome is what the pipeline callback returns for a
+	// completed slice.
+	ShardOutcome = shard.Outcome
+	// ShardStatus summarizes a shard process's run: completed, stolen,
+	// and observed slices.
+	ShardStatus = shard.Status
+	// ShardMergeReport is the outcome of merging a campaign directory.
+	ShardMergeReport = shard.MergeReport
 
 	// MappingServer is the HTTP/JSON handler serving loaded port
 	// mappings: throughput predictions bit-identical to the batch
@@ -243,6 +267,52 @@ func OpenCache(dir, fingerprint string) (*CacheStore, error) {
 // cache directory.
 func NewCheckpointer(dir, fingerprint string) (*Checkpointer, error) {
 	return persist.NewCheckpointer(dir, fingerprint)
+}
+
+// OpenCacheEpoch is OpenCache under an explicit writer epoch: each
+// lease takeover of a campaign slice opens the slice's store under a
+// fresh epoch, so a displaced-but-alive predecessor can never corrupt
+// the new owner's journal. Recovery merges all epochs.
+func OpenCacheEpoch(dir, fingerprint string, epoch uint64) (*CacheStore, error) {
+	return persist.OpenEpoch(dir, fingerprint, epoch)
+}
+
+// LockCacheDir takes the exclusive advisory lock of a cache directory
+// (creating it if needed). A second process opening the same directory
+// fails fast with a diagnostic instead of interleaving journal writes.
+// Sharded campaign slices are coordinated by leases instead and do not
+// take this lock.
+func LockCacheDir(dir string) (*CacheLock, error) {
+	return persist.LockDir(dir)
+}
+
+// EnsureShardManifest creates — or validates against — the manifest of
+// a sharded campaign directory: the deterministic partition of the
+// scheme-key universe into one slice per shard, pinned to the run
+// fingerprint. Concurrent shard processes racing to create it agree on
+// exactly one partition.
+func EnsureShardManifest(dir, fingerprint string, shards int, universe []string) (*ShardManifest, error) {
+	return shard.EnsureManifest(dir, fingerprint, shards, universe)
+}
+
+// ShardSliceDir returns the directory of slice i under a campaign root.
+func ShardSliceDir(dir string, i int) string { return shard.SliceDir(dir, i) }
+
+// RunShard participates in a sharded campaign until this shard's work
+// is done: its own slice first, then — with cfg.Steal — dead or hung
+// peers' slices via crash-tolerant lease takeover, until every slice
+// has a result.
+func RunShard(ctx context.Context, cfg ShardConfig) (*ShardStatus, error) {
+	return shard.Run(ctx, cfg)
+}
+
+// MergeShards validates fingerprints across a campaign's slice results
+// and persisted journals and merges them into one mapping and one
+// compacted snapshot at the campaign root. Slices that never reported
+// degrade the merge (their schemes are flagged unresolved) instead of
+// failing it. Callers must hold LockCacheDir on the campaign root.
+func MergeShards(dir, fingerprint string) (*ShardMergeReport, error) {
+	return shard.Merge(dir, fingerprint)
 }
 
 // ErrBudgetExhausted reports that a solver query stopped because its
