@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race soak solver-soak shard-soak serve-smoke verify bench bench-smoke clean
+.PHONY: build test vet race soak solver-soak shard-soak serve-smoke serve-chaos-soak verify bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,18 @@ race:
 # request, or a data race.
 serve-smoke:
 	$(GO) run -race ./cmd/zenload -self -mapping zen=mapping.json -clients 64 -requests 3000 -verify
+
+# serve-chaos-soak is the serving-robustness soak under the race
+# detector: a deliberately tiny admission gate (-overload) so the
+# stream genuinely sheds, seeded evaluator stalls plus one
+# deterministic injected panic (-chaos), a per-request deadline
+# budget, slow clients trickling request bodies, and one SIGHUP hot
+# reload mid-traffic. The daemon must never crash or deadlock, every
+# non-shed prediction must verify bit-identical to the batch
+# evaluator, and shed/degraded responses must carry Retry-After.
+serve-chaos-soak:
+	$(GO) run -race ./cmd/zenload -self -mapping zen=mapping.json -clients 64 -requests 4000 -verify \
+		-overload -chaos -chaos-seed 7 -deadline 250ms -slow-clients 4 -reload-at 800
 
 # soak runs the chaos-hardened inference end to end under the race
 # detector: full pipeline under ≈2% transients, hangs, 10× outlier

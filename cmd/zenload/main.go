@@ -14,6 +14,18 @@
 // -self boots the zenportd HTTP stack in-process on a random port and
 // aims the load at it — the mode `make serve-smoke` runs under the
 // race detector.
+//
+// zenload is also the serving-robustness soak (`make
+// serve-chaos-soak`): -overload shrinks the admission gate so the
+// stream genuinely sheds, -chaos injects seeded evaluator stalls and
+// one deterministic panic (internal/chaos.ServeFaults), -deadline
+// stamps every request with an X-Zenport-Deadline budget,
+// -slow-clients trickles request bodies, and -reload-at fires a
+// SIGHUP hot reload mid-traffic. Responses are classified by status —
+// shed (429), degraded (503), timeout (504), canceled (499),
+// panicked (500 under -chaos) — shed/degraded responses must carry
+// Retry-After, non-200s are excluded from the latency quantiles, and
+// every 200 prediction must still verify bit-identical.
 package main
 
 import (
@@ -28,12 +40,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"zenport/internal/chaos"
 	"zenport/internal/portmodel"
 	"zenport/internal/serve"
 )
@@ -70,6 +85,42 @@ type query struct {
 	verify  bool
 }
 
+// slowReader trickles a request body a few bytes at a time — the
+// classic slow client. The daemon must absorb it without an evaluator
+// slot being held hostage (decode happens before admission).
+type slowReader struct {
+	data  []byte
+	chunk int
+	delay time.Duration
+}
+
+// Read implements io.Reader.
+func (r *slowReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	time.Sleep(r.delay)
+	n := r.chunk
+	if n > len(r.data) || n > len(p) {
+		n = min(len(r.data), len(p))
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// tally is the per-status classification of the replayed stream.
+type tally struct {
+	ok       atomic.Uint64
+	shed     atomic.Uint64 // 429
+	degraded atomic.Uint64 // 503
+	timeout  atomic.Uint64 // 504
+	canceled atomic.Uint64 // 499
+	panicked atomic.Uint64 // 500 with an injected panic (chaos mode)
+	failures atomic.Uint64
+	verified atomic.Uint64
+}
+
 func main() {
 	var mappings mappingFlags
 	url := flag.String("url", "", "target daemon base URL (empty with -self)")
@@ -81,6 +132,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "stream RNG seed")
 	rmax := flag.Float64("rmax", 5, "rmax the daemon serves with (for -verify references)")
 	verify := flag.Bool("verify", false, "check every prediction bit-identical to the batch evaluator")
+	deadline := flag.Duration("deadline", 0, "X-Zenport-Deadline header stamped on every request (0 = none)")
+	slowClients := flag.Int("slow-clients", 0, "clients that trickle their request bodies byte-chunks at a time")
+	overload := flag.Bool("overload", false, "with -self, shrink the admission gate so the stream genuinely sheds")
+	chaosOn := flag.Bool("chaos", false, "with -self, inject seeded evaluator stalls and one deterministic panic")
+	chaosSeed := flag.Int64("chaos-seed", 7, "serving-fault regime seed")
+	reloadAt := flag.Int64("reload-at", 0, "with -self, fire a SIGHUP hot reload after this many completed responses (0 = never)")
 	flag.Var(&mappings, "mapping", "name=path of a mapping JSON (repeatable; first is the query target)")
 	flag.Parse()
 
@@ -89,6 +146,9 @@ func main() {
 	}
 	if (*url == "") == !*self {
 		log.Fatal("zenload: specify exactly one of -url and -self")
+	}
+	if (*overload || *chaosOn || *reloadAt > 0) && !*self {
+		log.Fatal("zenload: -overload, -chaos, and -reload-at require -self (they configure the in-process daemon)")
 	}
 
 	loaded := make(map[string]*portmodel.Mapping, len(mappings))
@@ -107,12 +167,46 @@ func main() {
 	tm := loaded[target]
 
 	base := *url
+	var faults *chaos.ServeFaults
 	if *self {
-		srv := serve.New(serve.Config{Rmax: *rmax})
+		cfg := serve.Config{Rmax: *rmax}
+		if *overload {
+			// A gate small enough that this stream genuinely saturates
+			// it: the soak asserts shedding actually happened. One
+			// evaluator slot plus a one-deep queue means any three
+			// overlapping cache misses shed the third — guaranteed
+			// during the cold-start burst when every client misses.
+			cfg.MaxConcurrent = 1
+			cfg.MaxQueue = 1
+			cfg.QueueTimeout = 2 * time.Millisecond
+		}
+		if *chaosOn {
+			faults = chaos.NewServeFaults(chaos.DefaultServeRegime(*chaosSeed))
+			cfg.EvalHook = faults.Eval
+		}
+		srv := serve.New(cfg)
 		for name, m := range loaded {
 			if err := srv.Load(name, m); err != nil {
 				log.Fatalf("zenload: %v", err)
 			}
+		}
+		if *reloadAt > 0 {
+			// The zenportd SIGHUP contract, in-process: a HUP re-reads
+			// the -mapping files and hot-reloads them mid-traffic.
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go func() {
+				for range hup {
+					for _, spec := range mappings {
+						res, err := srv.Reload(spec.name, loaded[spec.name])
+						if err != nil {
+							log.Fatalf("zenload: reload %q rejected: %v", spec.name, err)
+						}
+						fmt.Printf("zenload: reloaded %q: generation %d, cache retained %v\n",
+							spec.name, res.Generation, res.CacheRetained)
+					}
+				}
+			}()
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -188,10 +282,13 @@ func main() {
 	}
 
 	// Replay at fixed concurrency: one shared index, per-client
-	// latency logs, merged afterwards.
+	// latency logs, merged afterwards. Latencies cover 200s only —
+	// shed and degraded responses return in microseconds and would
+	// fraudulently flatter the quantiles.
 	var next atomic.Int64
-	var failures atomic.Uint64
-	var verified atomic.Uint64
+	var completed atomic.Int64
+	var reloadOnce sync.Once
+	var t tally
 	lats := make([][]time.Duration, *clients)
 	client := &http.Client{Timeout: 30 * time.Second}
 	var wg sync.WaitGroup
@@ -200,6 +297,7 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			slow := c < *slowClients
 			mine := make([]time.Duration, 0, *requests / *clients + 1)
 			for {
 				i := int(next.Add(1)) - 1
@@ -207,36 +305,39 @@ func main() {
 					break
 				}
 				q := stream[i]
-				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/"+q.kind, "application/json", bytes.NewReader(q.body))
+				var body io.Reader = bytes.NewReader(q.body)
+				if slow {
+					body = &slowReader{data: q.body, chunk: 32, delay: 200 * time.Microsecond}
+				}
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/"+q.kind, body)
 				if err != nil {
-					failures.Add(1)
+					log.Fatalf("zenload: %v", err)
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if *deadline > 0 {
+					req.Header.Set(serve.DeadlineHeader, deadline.String())
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					t.failures.Add(1)
 					log.Printf("zenload: %v", err)
 					continue
 				}
 				data, err := io.ReadAll(resp.Body)
 				resp.Body.Close()
-				mine = append(mine, time.Since(t0))
-				if err != nil || resp.StatusCode != http.StatusOK {
-					failures.Add(1)
-					log.Printf("zenload: %s: status %d: %s", q.kind, resp.StatusCode, data)
+				if err != nil {
+					t.failures.Add(1)
+					log.Printf("zenload: %s: read: %v", q.kind, err)
 					continue
 				}
-				if q.verify {
-					var pr serve.PredictResponse
-					if err := json.Unmarshal(data, &pr); err != nil {
-						failures.Add(1)
-						log.Printf("zenload: bad predict response: %v", err)
-						continue
-					}
-					if math.Float64bits(pr.InvThroughput) != q.wantInv || math.Float64bits(pr.IPC) != q.wantIPC {
-						failures.Add(1)
-						log.Printf("zenload: MISMATCH: served (inv %v, ipc %v) != batch reference (inv %v, ipc %v)",
-							pr.InvThroughput, pr.IPC,
-							math.Float64frombits(q.wantInv), math.Float64frombits(q.wantIPC))
-						continue
-					}
-					verified.Add(1)
+				classify(&t, q, resp, data, time.Since(t0), &mine, *chaosOn)
+				if n := completed.Add(1); *reloadAt > 0 && n >= *reloadAt {
+					reloadOnce.Do(func() {
+						if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+							log.Fatalf("zenload: SIGHUP: %v", err)
+						}
+					})
 				}
 			}
 			lats[c] = mine
@@ -257,32 +358,140 @@ func main() {
 		i := int(p * float64(len(all)-1))
 		return all[i]
 	}
-	fmt.Printf("zenload: %d requests, %d clients, %d distinct experiments over mapping %q\n",
-		len(stream), *clients, len(exps), target)
-	fmt.Printf("zenload: wall %.2fs, %.0f req/s\n", wall.Seconds(), float64(len(all))/wall.Seconds())
-	fmt.Printf("zenload: latency p50 %s  p90 %s  p99 %s  max %s\n", q(0.50), q(0.90), q(0.99), q(1.0))
+	fmt.Printf("zenload: %d requests, %d clients (%d slow), %d distinct experiments over mapping %q\n",
+		len(stream), *clients, *slowClients, len(exps), target)
+	fmt.Printf("zenload: wall %.2fs, %.0f req/s\n", wall.Seconds(), float64(len(stream))/wall.Seconds())
+	fmt.Printf("zenload: %d ok, %d shed, %d degraded, %d timeout, %d canceled, %d panicked, %d failures\n",
+		t.ok.Load(), t.shed.Load(), t.degraded.Load(), t.timeout.Load(),
+		t.canceled.Load(), t.panicked.Load(), t.failures.Load())
+	fmt.Printf("zenload: latency (200s only) p50 %s  p90 %s  p99 %s  max %s\n", q(0.50), q(0.90), q(0.99), q(1.0))
 	if *verify {
-		fmt.Printf("zenload: %d predictions verified bit-identical to the batch evaluator\n", verified.Load())
+		fmt.Printf("zenload: %d predictions verified bit-identical to the batch evaluator\n", t.verified.Load())
+	}
+	if faults != nil {
+		fmt.Printf("zenload: %s\n", faults.Ledger())
 	}
 
-	// Pull the daemon's own counters for the report.
+	// Pull the daemon's own counters for the report and the soak
+	// assertions below.
+	var st serve.StatsResponse
+	haveStats := false
 	if resp, err := client.Get(base + "/v1/stats"); err == nil {
-		var st serve.StatsResponse
 		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			haveStats = true
 			for _, ms := range st.Mappings {
 				if ms.Name == target {
-					fmt.Printf("zenload: server: %d evaluations, %d cache hits, %d coalesced, %d pool compiles\n",
-						ms.Evaluations, ms.Cache.Hits, ms.Coalesced, ms.PoolCompiles)
+					fmt.Printf("zenload: server: %d evaluations, %d cache hits, %d coalesced, %d pool compiles, generation %d, breaker %s\n",
+						ms.Evaluations, ms.Cache.Hits, ms.Coalesced, ms.PoolCompiles, ms.Generation, ms.Breaker.State)
 				}
 			}
+			fmt.Printf("zenload: server: %d shed (gate hw %d), %d panics recovered, %d deadline expiries, %d reloads\n",
+				st.Gate.Shed, st.Gate.QueueDepthHighWater, st.PanicsRecovered, st.DeadlineExpiries, st.Reloads)
 		}
 		resp.Body.Close()
 	}
 
-	if n := failures.Load(); n > 0 {
+	// Soak assertions: the exit code is the contract CI leans on.
+	if n := t.failures.Load(); n > 0 {
 		log.Fatalf("zenload: %d failed or mismatched requests", n)
 	}
-	if *verify && verified.Load() == 0 {
+	if *verify && t.verified.Load() == 0 {
 		log.Fatal("zenload: -verify set but no predictions were verified")
 	}
+	if *overload && t.shed.Load() == 0 {
+		log.Fatal("zenload: -overload set but nothing was shed (gate never saturated)")
+	}
+	if *chaosOn {
+		if faults.Ledger().Panics == 0 {
+			log.Fatal("zenload: -chaos set but no panic was injected (stream too short to reach PanicAt?)")
+		}
+		if !haveStats || st.PanicsRecovered == 0 {
+			log.Fatal("zenload: -chaos injected a panic but the daemon recovered none")
+		}
+	}
+	if *reloadAt > 0 {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if g := reloadGeneration(client, base, target); g >= 2 {
+				fmt.Printf("zenload: reload landed: mapping %q at generation %d\n", target, g)
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("zenload: -reload-at %d fired but mapping %q never reached generation 2", *reloadAt, target)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// classify buckets one response by status, recording latency and
+// verifying bit-identity for 200s and demanding Retry-After on
+// shed/degraded responses.
+func classify(t *tally, q query, resp *http.Response, data []byte, lat time.Duration, mine *[]time.Duration, chaosOn bool) {
+	switch resp.StatusCode {
+	case http.StatusOK:
+		t.ok.Add(1)
+		*mine = append(*mine, lat)
+		if q.verify {
+			var pr serve.PredictResponse
+			if err := json.Unmarshal(data, &pr); err != nil {
+				t.failures.Add(1)
+				log.Printf("zenload: bad predict response: %v", err)
+				return
+			}
+			if math.Float64bits(pr.InvThroughput) != q.wantInv || math.Float64bits(pr.IPC) != q.wantIPC {
+				t.failures.Add(1)
+				log.Printf("zenload: MISMATCH: served (inv %v, ipc %v) != batch reference (inv %v, ipc %v)",
+					pr.InvThroughput, pr.IPC,
+					math.Float64frombits(q.wantInv), math.Float64frombits(q.wantIPC))
+				return
+			}
+			t.verified.Add(1)
+		}
+	case http.StatusTooManyRequests:
+		t.shed.Add(1)
+		if resp.Header.Get("Retry-After") == "" {
+			t.failures.Add(1)
+			log.Printf("zenload: shed response missing Retry-After")
+		}
+	case http.StatusServiceUnavailable:
+		t.degraded.Add(1)
+		if resp.Header.Get("Retry-After") == "" {
+			t.failures.Add(1)
+			log.Printf("zenload: degraded response missing Retry-After")
+		}
+	case http.StatusGatewayTimeout:
+		t.timeout.Add(1)
+	case serve.StatusClientClosedRequest:
+		t.canceled.Add(1)
+	case http.StatusInternalServerError:
+		if chaosOn && bytes.Contains(data, []byte("panic")) {
+			t.panicked.Add(1)
+			return
+		}
+		t.failures.Add(1)
+		log.Printf("zenload: %s: status %d: %s", q.kind, resp.StatusCode, data)
+	default:
+		t.failures.Add(1)
+		log.Printf("zenload: %s: status %d: %s", q.kind, resp.StatusCode, data)
+	}
+}
+
+// reloadGeneration polls /v1/stats for the mapping's generation.
+func reloadGeneration(client *http.Client, base, name string) uint64 {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0
+	}
+	for _, ms := range st.Mappings {
+		if ms.Name == name {
+			return ms.Generation
+		}
+	}
+	return 0
 }

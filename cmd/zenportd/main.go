@@ -22,6 +22,22 @@
 // cmd/zenload -verify asserts it under load. -addr :0 binds a random
 // port; the bound address is printed as "zenportd: listening on ...".
 // SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// The daemon is overload-safe (see internal/serve): evaluator work
+// runs behind a bounded-concurrency, bounded-queue admission gate
+// (-max-concurrent, -max-queue, -queue-timeout; excess load is shed
+// with 429 + Retry-After), every request carries a deadline budget
+// (-deadline default, -max-deadline cap on the X-Zenport-Deadline
+// header), handler panics are recovered and counted instead of
+// killing the process, and a per-mapping breaker degrades a failing
+// mapping to cache-only 503s (-breaker-threshold, -breaker-cooldown).
+//
+// SIGHUP re-reads every -mapping file and hot-reloads it with
+// validate-then-atomic-swap semantics: a mapping that fails
+// validation or the smoke probe is rejected and the previous
+// generation keeps serving; in-flight requests drain on the old
+// generation. POST /admin/reload (loopback-only) reloads a single
+// mapping from a path.
 package main
 
 import (
@@ -85,6 +101,16 @@ func run() error {
 	memo := flag.Int("memo", 0, "per-evaluator experiment memo cap (0 = default, <0 = unbounded)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	quiet := flag.Bool("quiet", false, "suppress per-error log lines")
+	maxConcurrent := flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "concurrent evaluator work bound")
+	maxQueue := flag.Int("max-queue", serve.DefaultMaxQueue, "admission queue depth (<0 = no queue, shed immediately)")
+	queueTimeout := flag.Duration("queue-timeout", serve.DefaultQueueTimeout, "shed requests queued longer than this")
+	retryAfter := flag.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint on shed/degraded responses")
+	deadline := flag.Duration("deadline", 2*time.Second, "default per-request evaluation budget (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", 30*time.Second, "cap on the X-Zenport-Deadline request header (0 = no cap)")
+	breakerThreshold := flag.Int("breaker-threshold", serve.DefaultBreakerThreshold,
+		"consecutive evaluator failures that degrade a mapping to cache-only (<0 = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", serve.DefaultBreakerCooldown,
+		"open-breaker cooldown before the half-open recovery probe")
 	flag.Var(&mappings, "mapping", "name=path of a mapping JSON to load (repeatable)")
 	flag.Parse()
 
@@ -92,7 +118,12 @@ func run() error {
 		return errors.New("specify at least one -mapping name=path")
 	}
 
-	cfg := serve.Config{Rmax: *rmax, CacheSize: *cacheSize, MaxBodyBytes: *maxBody, MemoLimit: *memo}
+	cfg := serve.Config{
+		Rmax: *rmax, CacheSize: *cacheSize, MaxBodyBytes: *maxBody, MemoLimit: *memo,
+		MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue, QueueTimeout: *queueTimeout,
+		RetryAfter: *retryAfter, DefaultDeadline: *deadline, MaxDeadline: *maxDeadline,
+		BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
+	}
 	if !*quiet {
 		cfg.Log = log.Printf
 	}
@@ -125,26 +156,63 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP hot-reloads every -mapping file; it must not share the
+	// NotifyContext above or the first reload would start a drain.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 
-	select {
-	case err := <-done:
-		if !errors.Is(err, http.ErrServerClosed) {
-			return err
+	for {
+		select {
+		case err := <-done:
+			if !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
+		case <-hup:
+			reloadAll(srv, mappings)
+		case <-ctx.Done():
+			// First signal: stop accepting, drain in-flight requests.
+			// http.Server.Shutdown returns once every connection is idle or
+			// the drain timeout forces the remainder closed.
+			stop() // a second signal kills immediately via default handling
+			log.Printf("zenportd: signal received, draining (up to %s)", *drain)
+			sctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := hs.Shutdown(sctx); err != nil {
+				return fmt.Errorf("drain incomplete: %w", err)
+			}
+			log.Printf("zenportd: drained cleanly")
+			return nil
 		}
-	case <-ctx.Done():
-		// First signal: stop accepting, drain in-flight requests.
-		// http.Server.Shutdown returns once every connection is idle or
-		// the drain timeout forces the remainder closed.
-		stop() // a second signal kills immediately via default handling
-		log.Printf("zenportd: signal received, draining (up to %s)", *drain)
-		sctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		if err := hs.Shutdown(sctx); err != nil {
-			return fmt.Errorf("drain incomplete: %w", err)
-		}
-		log.Printf("zenportd: drained cleanly")
 	}
-	return nil
+}
+
+// reloadAll re-reads every -mapping file and hot-reloads it. A
+// rejected reload — unreadable file, invalid mapping, failed smoke
+// check — is logged and skipped: the previous generation keeps
+// serving, which is the whole point of validate-then-swap.
+func reloadAll(srv *serve.Server, mappings mappingFlags) {
+	for _, spec := range mappings {
+		data, err := os.ReadFile(spec.path)
+		if err != nil {
+			log.Printf("zenportd: reload %q rejected, still serving previous generation: %v", spec.name, err)
+			continue
+		}
+		var m portmodel.Mapping
+		if err := json.Unmarshal(data, &m); err != nil {
+			log.Printf("zenportd: reload %q rejected, still serving previous generation: %s: %v", spec.name, spec.path, err)
+			continue
+		}
+		res, err := srv.Reload(spec.name, &m)
+		if err != nil {
+			log.Printf("zenportd: reload %q rejected, still serving previous generation: %v", spec.name, err)
+			continue
+		}
+		log.Printf("zenportd: reloaded mapping %q from %s: generation %d, fingerprint %s, cache retained %v",
+			spec.name, spec.path, res.Generation, res.Fingerprint, res.CacheRetained)
+	}
 }

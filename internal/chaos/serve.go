@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"zenport/internal/zensim"
+)
+
+// Serving faults: the chaos layer's model of everything that goes
+// wrong *inside* a serving daemon rather than inside a measurement —
+// evaluator stalls (a slow NUMA node, a cold memo, a GC pause) and
+// evaluator panics (the bug class the serving layer's panic isolation
+// exists for). A ServeFaults value plugs into serve.Config.EvalHook:
+// it runs at the start of every pooled evaluation and may stall
+// (honoring the request context, so deadline propagation is
+// exercised), or panic (so recover paths and breaker accounting are
+// exercised). Like every chaos regime in this package the fault plan
+// is a pure function of (seed, evaluation index) via zensim.ExecSeed,
+// so a soak replays bit-identically under the same seed.
+
+// serveSalt decorrelates the serving-fault stream from the
+// measurement-fault streams (chaosSalt, lieSalt).
+const serveSalt = 0x73657276 // "serv"
+
+// ServeRegime describes a serving-fault distribution.
+type ServeRegime struct {
+	// StallRate is the per-evaluation probability of an injected stall.
+	StallRate float64
+	// StallDuration is how long an injected stall sleeps (bounded by
+	// the request context — a canceled request ends the stall early).
+	StallDuration time.Duration
+	// PanicRate is the per-evaluation probability of an injected
+	// evaluator panic.
+	PanicRate float64
+	// PanicAt, when non-zero, panics exactly the PanicAt-th evaluation
+	// (1-based) regardless of PanicRate — the deterministic "one
+	// handler panic" a soak asserts the daemon survives.
+	PanicAt uint64
+	// Seed drives the fault plan; the same seed replays the same
+	// faults at the same evaluation indices.
+	Seed int64
+}
+
+// DefaultServeRegime is the serve-chaos soak's regime: frequent short
+// stalls plus one deterministic panic early in the run.
+func DefaultServeRegime(seed int64) ServeRegime {
+	return ServeRegime{
+		StallRate:     0.05,
+		StallDuration: 500 * time.Microsecond,
+		PanicAt:       40,
+		Seed:          seed,
+	}
+}
+
+// ServeFaults injects a ServeRegime into a serving evaluator pool via
+// serve.Config.EvalHook. Safe for concurrent use.
+type ServeFaults struct {
+	regime ServeRegime
+
+	calls  atomic.Uint64
+	stalls atomic.Uint64
+	panics atomic.Uint64
+}
+
+// NewServeFaults returns a fault injector for the regime.
+func NewServeFaults(regime ServeRegime) *ServeFaults {
+	return &ServeFaults{regime: regime}
+}
+
+// ServeLedger is the injector's tally of what it actually did.
+type ServeLedger struct {
+	// Calls is the number of evaluations the hook saw.
+	Calls uint64
+	// Stalls is the number of injected stalls.
+	Stalls uint64
+	// Panics is the number of injected panics.
+	Panics uint64
+}
+
+// String renders the ledger for soak logs.
+func (l ServeLedger) String() string {
+	return fmt.Sprintf("serve-chaos: %d evaluations, %d stalls, %d panics", l.Calls, l.Stalls, l.Panics)
+}
+
+// Ledger snapshots the injector's counters.
+func (f *ServeFaults) Ledger() ServeLedger {
+	return ServeLedger{
+		Calls:  f.calls.Load(),
+		Stalls: f.stalls.Load(),
+		Panics: f.panics.Load(),
+	}
+}
+
+// Eval is the serve.Config.EvalHook implementation. Faults draw from
+// a per-evaluation-index RNG stream, so concurrent evaluations get
+// deterministic (order-independent) fault decisions. A stall honors
+// ctx: the injected latency is exactly what deadline propagation must
+// absorb, so a stalled evaluation under an expired deadline returns
+// the context error instead of sleeping on.
+func (f *ServeFaults) Eval(ctx context.Context, key string) error {
+	n := f.calls.Add(1)
+	if f.regime.PanicAt != 0 && n == f.regime.PanicAt {
+		f.panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected evaluator panic (evaluation %d)", n))
+	}
+	if f.regime.PanicRate <= 0 && f.regime.StallRate <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(zensim.ExecSeed(f.regime.Seed^serveSalt, 0, n)))
+	if f.regime.PanicRate > 0 && rng.Float64() < f.regime.PanicRate {
+		f.panics.Add(1)
+		panic(fmt.Sprintf("chaos: injected evaluator panic (evaluation %d)", n))
+	}
+	if f.regime.StallRate > 0 && rng.Float64() < f.regime.StallRate {
+		f.stalls.Add(1)
+		return sleepCtx(ctx, f.regime.StallDuration)
+	}
+	return nil
+}

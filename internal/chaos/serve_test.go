@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestServeFaultsDeterministic replays the same regime twice and
+// demands identical ledgers: the fault plan must be a pure function of
+// (seed, evaluation index) for soak replay to mean anything.
+func TestServeFaultsDeterministic(t *testing.T) {
+	regime := ServeRegime{StallRate: 0.2, StallDuration: time.Microsecond, PanicRate: 0, Seed: 42}
+	run := func() ServeLedger {
+		f := NewServeFaults(regime)
+		for i := 0; i < 500; i++ {
+			if err := f.Eval(context.Background(), "k"); err != nil {
+				t.Fatalf("eval %d: %v", i, err)
+			}
+		}
+		return f.Ledger()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault plan not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Stalls == 0 {
+		t.Fatalf("regime with StallRate 0.2 over 500 evaluations injected no stalls: %+v", a)
+	}
+	if a.Calls != 500 {
+		t.Fatalf("calls = %d, want 500", a.Calls)
+	}
+}
+
+// TestServeFaultsPanicAt pins the deterministic single panic: exactly
+// the PanicAt-th evaluation panics, no other does.
+func TestServeFaultsPanicAt(t *testing.T) {
+	f := NewServeFaults(ServeRegime{PanicAt: 3, Seed: 1})
+	for i := 1; i <= 6; i++ {
+		panicked := func() (p bool) {
+			defer func() { p = recover() != nil }()
+			_ = f.Eval(context.Background(), "k")
+			return false
+		}()
+		if want := i == 3; panicked != want {
+			t.Fatalf("evaluation %d: panicked = %v, want %v", i, panicked, want)
+		}
+	}
+	if l := f.Ledger(); l.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", l.Panics)
+	}
+}
+
+// TestServeFaultsStallHonorsContext verifies that a canceled request
+// ends an injected stall early with the context error — the property
+// deadline propagation relies on.
+func TestServeFaultsStallHonorsContext(t *testing.T) {
+	f := NewServeFaults(ServeRegime{StallRate: 1.0, StallDuration: time.Hour, Seed: 7})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := f.Eval(ctx, "k")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stall ignored context: slept %v", elapsed)
+	}
+}

@@ -102,6 +102,14 @@ func (f *Flight[V]) Do(
 				return zero, out, ctx.Err()
 			}
 		}
+		// About to lead: a caller whose context already ended must not
+		// start work nobody will read (probe hits above still serve —
+		// answering from cache costs nothing).
+		if err := ctx.Err(); err != nil {
+			f.mu.Unlock()
+			var zero V
+			return zero, out, err
+		}
 		c := &flightCall[V]{done: make(chan struct{})}
 		f.inflight[key] = c
 		f.mu.Unlock()

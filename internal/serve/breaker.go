@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breaker trips a mapping into cache-only degraded serving after K
+// consecutive evaluator failures or panics: LRU hits keep being
+// answered at full speed, but cache misses are refused with 503 +
+// Retry-After instead of being fed to an evaluator that is evidently
+// broken (a corrupted mapping, a poisoned evaluator state, a fault
+// regime in a chaos soak). After a cooldown the breaker goes
+// half-open and lets exactly one probe request through: a successful
+// probe closes the breaker, a failed one re-opens it for another
+// cooldown. Context cancellations and shed requests are *aborts*, not
+// failures — a client hanging up or an overloaded gate says nothing
+// about evaluator health and must not trip the breaker.
+//
+// The state machine (closed → open → half-open → closed/open) is the
+// classic circuit breaker; the specific trip condition — consecutive
+// failures only, reset on any success — is chosen because the
+// evaluator is deterministic: one key that fails per-request (a bad
+// experiment) produces interleaved successes and never trips it,
+// while a broken evaluator fails everything and trips it in K
+// requests.
+type breaker struct {
+	// threshold is K, the consecutive-failure trip count; <= 0
+	// disables the breaker entirely (it never opens).
+	threshold int
+	// cooldown is how long the breaker stays open before probing.
+	cooldown time.Duration
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+
+	trips    atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// breakerState is the circuit state.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String renders the state for /v1/stats.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// newBreaker returns a closed breaker. A nil clock uses time.Now.
+func newBreaker(threshold int, cooldown time.Duration, clock func() time.Time) *breaker {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: clock}
+}
+
+// allow decides whether an evaluation may proceed. probe reports that
+// the caller is the half-open probe and must report its outcome; on
+// ok == false the mapping is degraded and the caller must answer 503
+// without evaluating.
+func (b *breaker) allow() (probe, ok bool) {
+	if b.threshold <= 0 {
+		return false, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return false, true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.rejected.Add(1)
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			b.rejected.Add(1)
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// success reports a completed evaluation: the failure streak resets,
+// and a successful half-open probe closes the breaker.
+func (b *breaker) success(probe bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if probe || b.state == breakerHalfOpen {
+		b.state = breakerClosed
+		b.probing = false
+	}
+}
+
+// failure reports an evaluator failure or panic. A failed half-open
+// probe re-opens immediately; in the closed state the K-th
+// consecutive failure trips the breaker.
+func (b *breaker) failure(probe bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if probe || b.state == breakerHalfOpen {
+		b.open()
+		return
+	}
+	if b.state == breakerClosed && b.consecutive >= b.threshold {
+		b.open()
+	}
+}
+
+// abort reports an evaluation that ended for reasons unrelated to
+// evaluator health (context canceled or deadline exceeded, request
+// shed by the gate): the streak is untouched, and a probe token is
+// returned so another request may probe.
+func (b *breaker) abort(probe bool) {
+	if b.threshold <= 0 || !probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// open transitions to the open state. Callers hold b.mu.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.trips.Add(1)
+}
+
+// BreakerStats is one mapping's breaker snapshot for /v1/stats.
+type BreakerStats struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Trips               uint64 `json:"trips"`
+	Rejected            uint64 `json:"rejected"`
+}
+
+// stats snapshots the breaker.
+func (b *breaker) stats() BreakerStats {
+	b.mu.Lock()
+	state, consecutive := b.state, b.consecutive
+	b.mu.Unlock()
+	return BreakerStats{
+		State:               state.String(),
+		ConsecutiveFailures: consecutive,
+		Trips:               b.trips.Load(),
+		Rejected:            b.rejected.Load(),
+	}
+}

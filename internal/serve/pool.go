@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -45,7 +46,7 @@ type evaluators struct {
 // for it.
 func newEvalPool(m *portmodel.Mapping, memoLimit int) (*evalPool, error) {
 	p := &evalPool{m: m, memoLimit: memoLimit}
-	ev, err := p.get()
+	ev, err := p.get(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -54,8 +55,14 @@ func newEvalPool(m *portmodel.Mapping, memoLimit int) (*evalPool, error) {
 }
 
 // get returns an exclusive evaluator set, compiling a fresh one when
-// the pool is empty (startup, or after the GC trimmed it).
-func (p *evalPool) get() (*evaluators, error) {
+// the pool is empty (startup, or after the GC trimmed it). A context
+// that already ended returns its error instead: a request whose
+// deadline expired while queued must not check out an evaluator it
+// will never use.
+func (p *evalPool) get(ctx context.Context) (*evaluators, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if v := p.pool.Get(); v != nil {
 		return v.(*evaluators), nil
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -79,7 +80,7 @@ func TestEvalPoolConcurrent(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < iters; i++ {
 				idx := rng.Intn(distinct)
-				ev, err := pool.get()
+				ev, err := pool.get(context.Background())
 				if err != nil {
 					errs <- err
 					return
@@ -174,7 +175,7 @@ func TestServerConcurrentHammer(t *testing.T) {
 
 	// The singleflight + LRU must have absorbed most of the load:
 	// 64*40 requests over 48 distinct keys cannot all have evaluated.
-	h := s.mappings["zen"]
+	h := s.state().mappings["zen"]
 	total := uint64(goroutines * iters)
 	if evals := h.evals.Load(); evals >= total {
 		t.Fatalf("every request evaluated (%d of %d): dedup and cache ineffective", evals, total)

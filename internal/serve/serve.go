@@ -25,6 +25,31 @@
 //     identity — evaluate once and share the result;
 //   - a bounded per-mapping LRU over canonical keys, so hot blocks
 //     are answered without touching the pool at all.
+//
+// Around that hot path sit the overload-safety mechanisms a
+// long-running public daemon needs (see admission.go, breaker.go,
+// reload.go):
+//
+//   - admission control: evaluator work runs behind a bounded-
+//     concurrency, bounded-queue gate; beyond the bounds requests are
+//     shed with 429 + Retry-After instead of queuing unboundedly
+//     (cache hits bypass the gate entirely);
+//   - deadline propagation: each request gets a budget (server
+//     default, capped per-request via the X-Zenport-Deadline header)
+//     threaded as a context through the singleflight, the gate, and
+//     the evaluator checkout, so a timed-out request frees its
+//     evaluator instead of computing a prediction nobody will read;
+//     server deadlines answer 504, client disconnects 499;
+//   - panic isolation: a per-request recover converts any handler or
+//     evaluator panic into a 500 + counter instead of killing the
+//     daemon, and a panicked evaluator is discarded, never re-pooled;
+//   - a per-mapping circuit breaker that degrades a misbehaving
+//     mapping to cache-only serving (hits answered, misses 503 +
+//     Retry-After) after K consecutive evaluator failures, with
+//     probed half-open recovery;
+//   - hot mapping reload with validate-then-atomic-swap semantics
+//     (Server.Reload, POST /admin/reload loopback-only, SIGHUP in
+//     cmd/zenportd).
 package serve
 
 import (
@@ -33,9 +58,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,7 +75,32 @@ const (
 	DefaultCacheSize = 4096
 	// DefaultMaxBodyBytes caps a request body at 1 MiB.
 	DefaultMaxBodyBytes = 1 << 20
+	// DefaultMaxConcurrent bounds concurrent evaluator work.
+	DefaultMaxConcurrent = 64
+	// DefaultMaxQueue bounds requests waiting for an evaluator slot.
+	DefaultMaxQueue = 256
+	// DefaultQueueTimeout sheds requests queued longer than this.
+	DefaultQueueTimeout = 100 * time.Millisecond
+	// DefaultRetryAfter is the Retry-After hint on shed and degraded
+	// responses.
+	DefaultRetryAfter = time.Second
+	// DefaultBreakerThreshold is K, the consecutive evaluator failures
+	// that trip a mapping into cache-only degraded serving.
+	DefaultBreakerThreshold = 8
+	// DefaultBreakerCooldown is how long a tripped breaker stays open
+	// before the half-open probe.
+	DefaultBreakerCooldown = 5 * time.Second
 )
+
+// StatusClientClosedRequest is the nginx-convention 499 status the
+// server records when the client disconnected before the response —
+// distinct from 504, which is the server's own deadline.
+const StatusClientClosedRequest = 499
+
+// DeadlineHeader is the request header carrying the client's deadline
+// budget as a Go duration string ("250ms"); it is capped by
+// Config.MaxDeadline.
+const DeadlineHeader = "X-Zenport-Deadline"
 
 // Config tunes a Server. The zero value serves with the defaults
 // above, no frontend bound, and no logging.
@@ -67,32 +117,87 @@ type Config struct {
 	// MemoLimit caps each pooled evaluator's experiment memo
 	// (0 = portmodel.DefaultMemoLimit, negative = unbounded).
 	MemoLimit int
+	// MaxConcurrent bounds concurrent evaluator work (0 = default 64).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an evaluator slot
+	// (0 = default 256; negative = no queue, shed immediately).
+	MaxQueue int
+	// QueueTimeout sheds requests queued longer than this
+	// (0 = default 100ms).
+	QueueTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429/503 responses
+	// (0 = default 1s).
+	RetryAfter time.Duration
+	// DefaultDeadline is the per-request evaluation budget applied
+	// when the client sends no X-Zenport-Deadline header (0 = none).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the client-requested deadline header
+	// (0 = no cap).
+	MaxDeadline time.Duration
+	// BreakerThreshold is the consecutive evaluator failures that trip
+	// a mapping into cache-only degraded serving (0 = default 8,
+	// negative = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is the open-state cooldown before a half-open
+	// probe (0 = default 5s).
+	BreakerCooldown time.Duration
+	// EvalHook, if non-nil, runs at the start of every pooled
+	// evaluation with the request context and canonical experiment
+	// key. It is the chaos/testing seam: a hook may stall (honoring
+	// ctx), return an error, or panic — the serving layer must absorb
+	// all three. Production servers leave it nil.
+	EvalHook func(ctx context.Context, key string) error
 	// Log, if non-nil, receives one-line request notices.
 	Log func(format string, args ...any)
 }
 
 // Server is the HTTP handler serving one or more loaded mappings.
-// Load every mapping before serving; handlers are safe for concurrent
-// use afterwards.
+// Load and Reload are safe to call concurrently with serving: the
+// mapping set is an immutable snapshot behind an atomic pointer, so a
+// request resolves its mapping handle exactly once and never observes
+// a half-swapped state.
 type Server struct {
-	cfg      Config
-	mux      *http.ServeMux
-	start    time.Time
-	mappings map[string]*handle
-	names    []string // sorted mapping names
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+	gate  *gate
 
-	requests atomic.Uint64
-	errs     atomic.Uint64
+	// loadMu serializes Load/Reload; st is the immutable serving state.
+	loadMu sync.Mutex
+	st     atomic.Pointer[svcState]
+
+	requests  atomic.Uint64
+	errs      atomic.Uint64
+	panics    atomic.Uint64
+	canceled  atomic.Uint64
+	deadlines atomic.Uint64
+	reloads   atomic.Uint64
 }
 
-// handle is one loaded mapping with its serving machinery.
+// svcState is one immutable snapshot of the loaded mappings. Reloads
+// build a new snapshot and swap the pointer; they never mutate one.
+type svcState struct {
+	mappings map[string]*handle
+	names    []string // sorted mapping names
+}
+
+// state returns the current serving snapshot.
+func (s *Server) state() *svcState { return s.st.Load() }
+
+// handle is one loaded mapping generation with its serving machinery.
+// A handle is immutable after construction: requests that resolved it
+// before a reload drain safely on it.
 type handle struct {
-	name   string
-	m      *portmodel.Mapping
-	keys   []string // sorted scheme keys, the suggestion universe
-	pool   *evalPool
-	cache  *lruCache[prediction]
-	flight *engine.Flight[prediction]
+	s           *Server
+	name        string
+	m           *portmodel.Mapping
+	fingerprint string
+	generation  uint64
+	keys        []string // sorted scheme keys, the suggestion universe
+	pool        *evalPool
+	cache       *lruCache[prediction]
+	flight      *engine.Flight[prediction]
+	breaker     *breaker
 
 	evals     atomic.Uint64 // pool evaluations (cache+flight misses)
 	coalesced atomic.Uint64 // requests that joined an in-flight twin
@@ -118,7 +223,27 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	s := &Server{cfg: cfg, start: time.Now(), mappings: make(map[string]*handle)}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = DefaultQueueTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	s := &Server{cfg: cfg, start: time.Now()}
+	s.gate = newGate(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout)
+	s.st.Store(&svcState{mappings: make(map[string]*handle)})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/mappings", s.handleMappings)
@@ -126,50 +251,52 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/diff", s.handleDiff)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
 	return s
 }
 
-// Load registers a mapping under a name. It validates that the
-// mapping compiles and is not safe to call concurrently with serving:
-// load everything at startup, as cmd/zenportd does.
+// Load registers a mapping under a name, validating that it compiles
+// and answers the smoke probe. Loading a duplicate name is an error;
+// use Reload to replace a generation. Safe concurrently with serving.
 func (s *Server) Load(name string, m *portmodel.Mapping) error {
-	if name == "" {
-		return fmt.Errorf("serve: empty mapping name")
-	}
-	if _, dup := s.mappings[name]; dup {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	if _, dup := s.state().mappings[name]; dup {
 		return fmt.Errorf("serve: mapping %q already loaded", name)
 	}
-	if err := m.Validate(); err != nil {
-		return fmt.Errorf("serve: mapping %q: %w", name, err)
-	}
-	pool, err := newEvalPool(m, s.cfg.MemoLimit)
+	h, err := s.buildHandle(name, m, 1, nil)
 	if err != nil {
-		return fmt.Errorf("serve: mapping %q: %w", name, err)
+		return err
 	}
-	s.mappings[name] = &handle{
-		name:   name,
-		m:      m,
-		keys:   m.Keys(),
-		pool:   pool,
-		cache:  newLRU[prediction](s.cfg.CacheSize),
-		flight: engine.NewFlight[prediction](nil),
-	}
-	s.names = append(s.names, name)
-	sort.Strings(s.names)
+	s.install(h)
 	return nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request runs under a
+// recover: a panicking handler answers 500 and bumps a counter
+// instead of killing the daemon (http.Server would only kill the one
+// goroutine, but an embedder without its own recover — or a panic in
+// a non-HTTP path — must not take the process down either way).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler { // deliberate connection abort
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.writeError(w, errf(http.StatusInternalServerError, "serve: handler panic: %v", rec))
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
 // httpError is an error with a fixed HTTP status and a stable,
 // test-asserted message.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; > 0 sets the Retry-After header
 }
 
 // Error implements error.
@@ -180,15 +307,61 @@ func errf(status int, format string, args ...any) *httpError {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
-// writeError emits the JSON error envelope.
+// retryAfterSeconds renders the configured Retry-After hint.
+func (s *Server) retryAfterSeconds() int {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// shedError converts a gate sentinel into its stable HTTP error;
+// context errors pass through untouched so writeError can distinguish
+// deadline from disconnect.
+func (s *Server) shedError(err error) error {
+	switch {
+	case errors.Is(err, errGateFull):
+		return &httpError{status: http.StatusTooManyRequests,
+			msg: "serve: overloaded: queue full, request shed", retryAfter: s.retryAfterSeconds()}
+	case errors.Is(err, errGateTimeout):
+		return &httpError{status: http.StatusTooManyRequests,
+			msg: "serve: overloaded: queued past deadline, request shed", retryAfter: s.retryAfterSeconds()}
+	}
+	return err
+}
+
+// degradedError is the cache-only refusal of a tripped breaker.
+func (h *handle) degradedError() error {
+	return &httpError{status: http.StatusServiceUnavailable,
+		msg:        fmt.Sprintf("serve: mapping %q degraded: evaluator breaker open, serving cache only", h.name),
+		retryAfter: h.s.retryAfterSeconds()}
+}
+
+// writeError emits the JSON error envelope. Context errors are
+// classified: the server's own deadline answers 504 Gateway Timeout,
+// a client disconnect answers the 499 convention — the distinction
+// operators need when a latency alarm fires.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.errs.Add(1)
 	he := &httpError{status: http.StatusInternalServerError, msg: "serve: internal error: " + err.Error()}
 	var known *httpError
-	if errors.As(err, &known) {
+	switch {
+	case errors.As(err, &known):
 		he = known
-	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		he = &httpError{status: http.StatusServiceUnavailable, msg: "serve: request canceled"}
+	case errors.Is(err, context.DeadlineExceeded):
+		he = &httpError{status: http.StatusGatewayTimeout, msg: "serve: deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		he = &httpError{status: StatusClientClosedRequest, msg: "serve: request canceled by client"}
+	}
+	switch he.status {
+	case http.StatusGatewayTimeout:
+		s.deadlines.Add(1)
+	case StatusClientClosedRequest:
+		s.canceled.Add(1)
+	}
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(he.status)
@@ -231,15 +404,42 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
-// lookup resolves a mapping name to its handle.
+// requestContext derives the request's evaluation budget: the server
+// default, overridden per-request by the X-Zenport-Deadline header
+// (capped at MaxDeadline). The returned context is also canceled when
+// the client disconnects, which is what lets a dead request free its
+// evaluator slot.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	budget := s.cfg.DefaultDeadline
+	if hv := r.Header.Get(DeadlineHeader); hv != "" {
+		d, err := time.ParseDuration(hv)
+		if err != nil || d <= 0 {
+			return nil, nil, errf(http.StatusBadRequest, "serve: invalid %s %q", DeadlineHeader, hv)
+		}
+		if s.cfg.MaxDeadline > 0 && d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+		budget = d
+	}
+	if budget <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	return ctx, cancel, nil
+}
+
+// lookup resolves a mapping name to its handle in the current
+// snapshot. The handle stays valid for the whole request even if a
+// reload swaps the snapshot mid-flight.
 func (s *Server) lookup(name string) (*handle, error) {
 	if name == "" {
 		return nil, errf(http.StatusBadRequest, "serve: missing mapping name")
 	}
-	h, ok := s.mappings[name]
+	st := s.state()
+	h, ok := st.mappings[name]
 	if !ok {
 		return nil, errf(http.StatusNotFound, "serve: mapping %q not loaded (loaded: %s)",
-			name, strings.Join(s.names, ", "))
+			name, strings.Join(st.names, ", "))
 	}
 	return h, nil
 }
@@ -301,29 +501,75 @@ func (h *handle) experimentOf(kernel string, exp map[string]int) (portmodel.Expe
 	return e, nil
 }
 
-// predict resolves an experiment through LRU, singleflight, and the
-// evaluator pool. The canonical key — engine.CanonicalKey, the same
-// identity the measurement cache uses — collapses permutations of the
-// same multiset, so "add;mul" and "mul;add" share one cache entry and
-// concurrent identical queries evaluate once.
-func (h *handle) predict(r *http.Request, e portmodel.Experiment, rmax float64) (prediction, engine.FlightOutcome, error) {
+// predict resolves an experiment through LRU, singleflight, breaker,
+// admission gate, and the evaluator pool. The canonical key —
+// engine.CanonicalKey, the same identity the measurement cache uses —
+// collapses permutations of the same multiset, so "add;mul" and
+// "mul;add" share one cache entry and concurrent identical queries
+// evaluate once. Cache hits bypass breaker and gate entirely: a
+// degraded or saturated mapping still answers its hot set.
+func (h *handle) predict(ctx context.Context, e portmodel.Experiment, rmax float64) (prediction, engine.FlightOutcome, error) {
 	key := engine.CanonicalKey(e)
-	p, out, err := h.flight.Do(r.Context(), key,
+	p, out, err := h.flight.Do(ctx, key,
 		func() (prediction, bool) { return h.cache.get(key) },
-		func() (prediction, error) { return h.evaluate(e, rmax) },
+		func() (prediction, error) { return h.evaluateGuarded(ctx, key, e, rmax) },
 		func(p prediction) { h.cache.add(key, p) },
 		nil)
 	h.coalesced.Add(uint64(out.Joined))
 	return p, out, err
 }
 
-// evaluate computes a prediction on an exclusive pooled evaluator.
-func (h *handle) evaluate(e portmodel.Experiment, rmax float64) (prediction, error) {
-	ev, err := h.pool.get()
+// evaluateGuarded runs one pool evaluation behind the breaker and the
+// admission gate, reporting the outcome back to the breaker. Context
+// ends (deadline, disconnect) and shed requests are breaker aborts,
+// not failures: they say nothing about evaluator health.
+func (h *handle) evaluateGuarded(ctx context.Context, key string, e portmodel.Experiment, rmax float64) (prediction, error) {
+	probe, ok := h.breaker.allow()
+	if !ok {
+		return prediction{}, h.degradedError()
+	}
+	if err := h.s.gate.acquire(ctx); err != nil {
+		h.breaker.abort(probe)
+		return prediction{}, h.s.shedError(err)
+	}
+	defer h.s.gate.release()
+	p, err := h.evaluate(ctx, key, e, rmax)
+	switch {
+	case err == nil:
+		h.breaker.success(probe)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		h.breaker.abort(probe)
+	default:
+		h.breaker.failure(probe)
+	}
+	return p, err
+}
+
+// evaluate computes a prediction on an exclusive pooled evaluator
+// under panic isolation: a panicking evaluation answers an error and
+// the evaluator is discarded (its scratch state is suspect), while
+// clean paths — including hook errors — return it to the pool.
+func (h *handle) evaluate(ctx context.Context, key string, e portmodel.Experiment, rmax float64) (p prediction, err error) {
+	ev, err := h.pool.get(ctx)
 	if err != nil {
 		return prediction{}, err
 	}
-	defer h.pool.put(ev)
+	defer func() {
+		if rec := recover(); rec != nil {
+			h.s.panics.Add(1)
+			if h.s.cfg.Log != nil {
+				h.s.cfg.Log("serve: recovered evaluator panic on mapping %q: %v", h.name, rec)
+			}
+			err = errf(http.StatusInternalServerError, "serve: evaluator panic: %v", rec)
+			return // ev deliberately not pooled
+		}
+		h.pool.put(ev)
+	}()
+	if hook := h.s.cfg.EvalHook; hook != nil {
+		if herr := hook(ctx, key); herr != nil {
+			return prediction{}, herr
+		}
+	}
 	h.evals.Add(1)
 	q, inv, err := ev.c.BottleneckWitness(e)
 	if err != nil {
@@ -342,18 +588,35 @@ func (h *handle) evaluate(e portmodel.Experiment, rmax float64) (prediction, err
 
 // lpCrossCheck solves the throughput LP for the experiment on a
 // pooled evaluator — an independent simplex-based answer to the same
-// LP the combinatorial evaluator solves exactly.
-func (h *handle) lpCrossCheck(e portmodel.Experiment) (float64, error) {
-	ev, err := h.pool.get()
+// LP the combinatorial evaluator solves exactly. It runs behind the
+// same admission gate and panic isolation as predictions.
+func (h *handle) lpCrossCheck(ctx context.Context, e portmodel.Experiment) (float64, error) {
+	if err := h.s.gate.acquire(ctx); err != nil {
+		return 0, h.s.shedError(err)
+	}
+	defer h.s.gate.release()
+	ev, err := h.pool.get(ctx)
 	if err != nil {
 		return 0, err
 	}
-	defer h.pool.put(ev)
-	lpe, err := ev.lpEval(h.m)
-	if err != nil {
-		return 0, err
-	}
-	return lpe.InverseThroughput(e)
+	var v float64
+	err = func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				h.s.panics.Add(1)
+				err = errf(http.StatusInternalServerError, "serve: evaluator panic: %v", rec)
+				return // ev deliberately not pooled
+			}
+			h.pool.put(ev)
+		}()
+		lpe, lerr := ev.lpEval(h.m)
+		if lerr != nil {
+			return lerr
+		}
+		v, lerr = lpe.InverseThroughput(e)
+		return lerr
+	}()
+	return v, err
 }
 
 // ---- wire types ----
@@ -480,19 +743,27 @@ type CacheStats struct {
 
 // MappingStats is one mapping's serving counters.
 type MappingStats struct {
-	Name         string     `json:"name"`
-	Cache        CacheStats `json:"cache"`
-	Evaluations  uint64     `json:"evaluations"`
-	Coalesced    uint64     `json:"coalesced"`
-	PoolCompiles uint64     `json:"pool_compiles"`
+	Name         string       `json:"name"`
+	Cache        CacheStats   `json:"cache"`
+	Evaluations  uint64       `json:"evaluations"`
+	Coalesced    uint64       `json:"coalesced"`
+	PoolCompiles uint64       `json:"pool_compiles"`
+	Generation   uint64       `json:"generation"`
+	Fingerprint  string       `json:"fingerprint"`
+	Breaker      BreakerStats `json:"breaker"`
 }
 
 // StatsResponse is the answer of GET /v1/stats.
 type StatsResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Requests      uint64         `json:"requests"`
-	Errors        uint64         `json:"errors"`
-	Mappings      []MappingStats `json:"mappings"`
+	UptimeSeconds    float64        `json:"uptime_seconds"`
+	Requests         uint64         `json:"requests"`
+	Errors           uint64         `json:"errors"`
+	Gate             GateStats      `json:"gate"`
+	PanicsRecovered  uint64         `json:"panics_recovered"`
+	DeadlineExpiries uint64         `json:"deadline_expiries"`
+	Canceled         uint64         `json:"canceled"`
+	Reloads          uint64         `json:"reloads"`
+	Mappings         []MappingStats `json:"mappings"`
 }
 
 // ---- handlers ----
@@ -502,7 +773,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, map[string]any{"status": "ok", "mappings": s.names})
+	s.writeJSON(w, map[string]any{"status": "ok", "mappings": s.state().names})
 }
 
 func (s *Server) handleMappings(w http.ResponseWriter, r *http.Request) {
@@ -510,9 +781,10 @@ func (s *Server) handleMappings(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	out := make([]MappingInfo, 0, len(s.names))
-	for _, name := range s.names {
-		h := s.mappings[name]
+	st := s.state()
+	out := make([]MappingInfo, 0, len(st.names))
+	for _, name := range st.names {
+		h := st.mappings[name]
 		out = append(out, MappingInfo{Name: name, NumPorts: h.m.NumPorts, Schemes: len(h.keys), Rmax: s.cfg.Rmax})
 	}
 	s.writeJSON(w, out)
@@ -524,6 +796,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer cancel()
 	h, err := s.lookup(req.Mapping)
 	if err != nil {
 		s.writeError(w, err)
@@ -534,7 +812,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	p, out, err := h.predict(r, e, s.cfg.Rmax)
+	p, out, err := h.predict(ctx, e, s.cfg.Rmax)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -552,7 +830,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Coalesced:              out.Joined > 0,
 	}
 	if req.LPCheck {
-		v, err := h.lpCrossCheck(e)
+		v, err := h.lpCrossCheck(ctx, e)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -577,6 +855,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer cancel()
 	h, err := s.lookup(req.Mapping)
 	if err != nil {
 		s.writeError(w, err)
@@ -587,7 +871,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	p, _, err := h.predict(r, e, s.cfg.Rmax)
+	p, _, err := h.predict(ctx, e, s.cfg.Rmax)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -680,14 +964,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	st := s.state()
 	out := StatsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		Errors:        s.errs.Load(),
-		Mappings:      make([]MappingStats, 0, len(s.names)),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Requests:         s.requests.Load(),
+		Errors:           s.errs.Load(),
+		Gate:             s.gate.stats(),
+		PanicsRecovered:  s.panics.Load(),
+		DeadlineExpiries: s.deadlines.Load(),
+		Canceled:         s.canceled.Load(),
+		Reloads:          s.reloads.Load(),
+		Mappings:         make([]MappingStats, 0, len(st.names)),
 	}
-	for _, name := range s.names {
-		h := s.mappings[name]
+	for _, name := range st.names {
+		h := st.mappings[name]
 		entries, capacity, hits, misses := h.cache.stats()
 		out.Mappings = append(out.Mappings, MappingStats{
 			Name:         name,
@@ -695,6 +985,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Evaluations:  h.evals.Load(),
 			Coalesced:    h.coalesced.Load(),
 			PoolCompiles: h.pool.compiles.Load(),
+			Generation:   h.generation,
+			Fingerprint:  h.fingerprint,
+			Breaker:      h.breaker.stats(),
 		})
 	}
 	s.writeJSON(w, out)

@@ -166,8 +166,18 @@ type (
 	// mapping diffs. cmd/zenportd is a thin wrapper around it.
 	MappingServer = serve.Server
 	// MappingServerConfig tunes a MappingServer (rmax, prediction LRU
-	// size, request body cap, evaluator memo cap).
+	// size, request body cap, evaluator memo cap, admission gate,
+	// deadlines, breaker).
 	MappingServerConfig = serve.Config
+	// ReloadResult reports a completed hot mapping reload (generation,
+	// content fingerprint, whether the prediction cache was retained).
+	ReloadResult = serve.ReloadResult
+	// ServeFaultRegime configures deterministic serving-fault injection
+	// (evaluator stalls and panics) for chaos soaks of the daemon.
+	ServeFaultRegime = chaos.ServeRegime
+	// ServeFaults injects a ServeFaultRegime via
+	// MappingServerConfig.EvalHook.
+	ServeFaults = chaos.ServeFaults
 )
 
 // MakePortSet builds a PortSet from port indices.
@@ -198,6 +208,14 @@ func NewMappingServer(cfg MappingServerConfig) *MappingServer { return serve.New
 // ParseKernel parses the CLI kernel syntax "N*key; M*key" (the format
 // zenmap -predict and the serving API accept) into an experiment.
 func ParseKernel(s string) (Experiment, error) { return serve.ParseKernel(s) }
+
+// NewServeFaults returns a serving-fault injector for the regime;
+// plug its Eval method into MappingServerConfig.EvalHook.
+func NewServeFaults(regime ServeFaultRegime) *ServeFaults { return chaos.NewServeFaults(regime) }
+
+// DefaultServeFaultRegime is the serve-chaos soak's regime: frequent
+// short evaluator stalls plus one deterministic panic.
+func DefaultServeFaultRegime(seed int64) ServeFaultRegime { return chaos.DefaultServeRegime(seed) }
 
 // ZenDB builds the Zen+ instruction scheme database with ground
 // truth (1,100+ schemes).
