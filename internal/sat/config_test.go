@@ -1,0 +1,189 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// lubyRef is the textbook recursive definition, used as the oracle for
+// the iterative implementation. Only valid for small i (it recurses).
+func lubyRef(i int) int {
+	for k := 1; ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return lubyRef(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+func TestLubyTable(t *testing.T) {
+	// The canonical prefix, straight from Luby, Sinclair & Zuckerman.
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i + 1); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	for i := 1; i <= 64; i++ {
+		if got, ref := luby(i), lubyRef(i); got != ref {
+			t.Fatalf("luby(%d) = %d, reference = %d", i, got, ref)
+		}
+	}
+}
+
+func TestLubyLargeIndex(t *testing.T) {
+	// Ends of complete subsequences: luby(2^k - 1) = 2^(k-1). The old
+	// recursive implementation overflowed its shift bookkeeping (and
+	// blew the stack) long before these indices.
+	for k := uint(1); k <= 62; k++ {
+		i := (1 << k) - 1
+		if got, want := luby(i), 1<<(k-1); got != want {
+			t.Fatalf("luby(2^%d-1) = %d, want %d", k, got, want)
+		}
+	}
+	// Arbitrary huge indices must terminate and return a power of two
+	// bounded by the enclosing subsequence.
+	for _, i := range []int{1 << 40, (1 << 40) + 12345, math.MaxInt64, math.MaxInt64 - 7} {
+		got := luby(i)
+		if got < 1 || got&(got-1) != 0 {
+			t.Fatalf("luby(%d) = %d, want a positive power of two", i, got)
+		}
+	}
+	if got := luby(math.MaxInt64); got != 1<<62 {
+		t.Fatalf("luby(MaxInt64) = %d, want 2^62", got)
+	}
+	// Defensive clamp for nonsensical indices.
+	if got := luby(0); got != 1 {
+		t.Fatalf("luby(0) = %d, want 1", got)
+	}
+}
+
+func TestNewSolverConfigZeroMatchesDefault(t *testing.T) {
+	// The zero Config must reproduce NewSolver exactly — same result
+	// and the same search trajectory (identical counters).
+	a := buildPHP(t, 6, 5)
+	b := func() *Solver {
+		s := NewSolverConfig(Config{})
+		x := make([][]int, 6)
+		for p := 0; p < 6; p++ {
+			x[p] = make([]int, 5)
+			for h := 0; h < 5; h++ {
+				x[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p < 6; p++ {
+			row := make([]int, 5)
+			copy(row, x[p])
+			mustAdd(t, s, row...)
+		}
+		for h := 0; h < 5; h++ {
+			for p1 := 0; p1 < 6; p1++ {
+				for p2 := p1 + 1; p2 < 6; p2++ {
+					mustAdd(t, s, -x[p1][h], -x[p2][h])
+				}
+			}
+		}
+		return s
+	}()
+	ra, rb := a.Solve(), b.Solve()
+	if ra != Unsat || rb != Unsat {
+		t.Fatalf("Solve = %v, %v; want Unsat, Unsat", ra, rb)
+	}
+	if sa, sb := a.StatsSnapshot(), b.StatsSnapshot(); sa != sb {
+		t.Fatalf("trajectories diverged: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestConfigDiversifiedSolversStayCorrect(t *testing.T) {
+	configs := []Config{
+		{Seed: 1},
+		{Seed: 42, LubyUnit: 16},
+		{LubyUnit: 256, PosPolarity: true},
+		{Seed: 7, Decay: 0.85},
+		{Seed: 99, LubyUnit: 32, PosPolarity: true, Decay: 0.99},
+	}
+	for i, cfg := range configs {
+		// UNSAT stays UNSAT under any heuristic.
+		s := NewSolverConfig(cfg)
+		x := make([][]int, 6)
+		for p := 0; p < 6; p++ {
+			x[p] = make([]int, 5)
+			for h := 0; h < 5; h++ {
+				x[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p < 6; p++ {
+			row := make([]int, 5)
+			copy(row, x[p])
+			mustAdd(t, s, row...)
+		}
+		for h := 0; h < 5; h++ {
+			for p1 := 0; p1 < 6; p1++ {
+				for p2 := p1 + 1; p2 < 6; p2++ {
+					mustAdd(t, s, -x[p1][h], -x[p2][h])
+				}
+			}
+		}
+		if r := s.Solve(); r != Unsat {
+			t.Fatalf("config %d: PHP(6,5) = %v, want Unsat", i, r)
+		}
+
+		// SAT models must satisfy the clauses under any heuristic.
+		q := NewSolverConfig(cfg)
+		a, b, c := q.NewVar(), q.NewVar(), q.NewVar()
+		mustAdd(t, q, a, b)
+		mustAdd(t, q, -a, c)
+		mustAdd(t, q, -b, -c)
+		if r := q.Solve(); r != Sat {
+			t.Fatalf("config %d: Solve = %v, want Sat", i, r)
+		}
+		sat1 := q.Model(a) || q.Model(b)
+		sat2 := !q.Model(a) || q.Model(c)
+		sat3 := !q.Model(b) || !q.Model(c)
+		if !sat1 || !sat2 || !sat3 {
+			t.Fatalf("config %d: model violates clauses", i)
+		}
+	}
+}
+
+func TestSteppedSolveMatchesUninterrupted(t *testing.T) {
+	// The portfolio layer chops one search into many small budgeted
+	// steps. Because budget stops land only on Luby restart boundaries
+	// and a resumed call continues the restart schedule, the stepped
+	// search must visit exactly the same conflicts as one
+	// uninterrupted call: same answer, same final counters.
+	ref := buildPHP(t, 8, 7)
+	if r := ref.Solve(); r != Unsat {
+		t.Fatalf("reference Solve = %v, want Unsat", r)
+	}
+	refStats := ref.StatsSnapshot()
+
+	stepped := buildPHP(t, 8, 7)
+	b := &Budget{}
+	var r Result
+	var err error
+	for steps := 0; ; steps++ {
+		if steps > 100000 {
+			t.Fatal("stepped solve did not terminate")
+		}
+		b.MaxConflicts += 50
+		r, err = stepped.SolveBudget(context.Background(), b)
+		if errors.Is(err, ErrBudgetExhausted) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("SolveBudget error: %v", err)
+		}
+		break
+	}
+	if r != Unsat {
+		t.Fatalf("stepped Solve = %v, want Unsat", r)
+	}
+	if got := stepped.StatsSnapshot(); got != refStats {
+		t.Fatalf("stepped trajectory diverged from uninterrupted:\n got %+v\nwant %+v", got, refStats)
+	}
+}

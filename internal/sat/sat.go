@@ -112,6 +112,22 @@ type Solver struct {
 	varInc   float64
 	polarity []bool // phase saving
 
+	// Diversification knobs (see Config). The zero values are
+	// normalized to the classic defaults by NewSolver/NewSolverConfig.
+	lubyUnit    int     // conflicts per Luby unit between restarts
+	decayFactor float64 // VSIDS decay divisor
+	posPolarity bool    // initial phase for fresh variables
+	rng         uint64  // splitmix64 state for activity jitter; 0 = off
+
+	// lubySeq is the next Luby restart index when the previous
+	// SolveBudget call was interrupted (budget/ctx) mid-search, so a
+	// resumed call continues the restart schedule instead of starting
+	// over. Zero means the next call starts a fresh schedule. This is
+	// what makes a budget-stepped search conflict-for-conflict
+	// identical to an uninterrupted one: interruptions happen only at
+	// restart boundaries, and resuming replays no work.
+	lubySeq int
+
 	order []int // lazily sorted decision order scratch
 
 	propagations uint64
@@ -130,19 +146,76 @@ type Solver struct {
 	rootUnsat bool
 }
 
-// NewSolver creates a solver with no variables.
+// Config selects the search heuristics of a solver. The zero value
+// reproduces the classic defaults exactly (NewSolver() ==
+// NewSolverConfig(Config{})), so diversified portfolio members can be
+// described as deltas from one canonical baseline.
+type Config struct {
+	// Seed, when non-zero, salts every fresh variable's initial VSIDS
+	// activity with a tiny deterministic jitter (splitmix64 stream),
+	// diversifying branch-variable tie-breaks without materially
+	// changing activity dynamics. Zero disables jitter: fresh
+	// variables start at activity 0 and ties break by lowest index.
+	Seed uint64
+	// LubyUnit is the conflict count multiplied by the Luby sequence
+	// to budget each restart. <= 0 means the default 64.
+	LubyUnit int
+	// PosPolarity makes fresh variables branch positive-first.
+	// Default (false) branches negative-first.
+	PosPolarity bool
+	// Decay is the VSIDS activity decay divisor in (0, 1).
+	// Out-of-range means the default 0.95.
+	Decay float64
+}
+
+// NewSolver creates a solver with no variables and default heuristics.
 func NewSolver() *Solver {
-	return &Solver{varInc: 1, watches: make([][]*clause, 2)}
+	return NewSolverConfig(Config{})
+}
+
+// NewSolverConfig creates a solver with no variables and the given
+// heuristic configuration.
+func NewSolverConfig(cfg Config) *Solver {
+	if cfg.LubyUnit <= 0 {
+		cfg.LubyUnit = 64
+	}
+	if cfg.Decay <= 0 || cfg.Decay >= 1 {
+		cfg.Decay = 0.95
+	}
+	return &Solver{
+		varInc:      1,
+		watches:     make([][]*clause, 2),
+		lubyUnit:    cfg.LubyUnit,
+		decayFactor: cfg.Decay,
+		posPolarity: cfg.PosPolarity,
+		rng:         cfg.Seed,
+	}
+}
+
+// splitmix64 advances *state and returns the next value of the
+// splitmix64 stream: a tiny, high-quality deterministic generator.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // NewVar adds a fresh variable and returns its index (>= 1).
 func (s *Solver) NewVar() int {
 	s.numVars++
+	act := 0.0
+	if s.rng != 0 {
+		// Jitter in [0, 1e-3): far below the first bump (varInc
+		// starts at 1), so it only perturbs tie-breaks.
+		act = float64(splitmix64(&s.rng)>>11) / float64(1<<53) * 1e-3
+	}
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
-	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, false)
+	s.activity = append(s.activity, act)
+	s.polarity = append(s.polarity, s.posPolarity)
 	s.watches = append(s.watches, nil, nil)
 	return s.numVars
 }
@@ -382,7 +455,7 @@ func (s *Solver) bumpVar(v int) {
 	}
 }
 
-func (s *Solver) decayVar() { s.varInc /= 0.95 }
+func (s *Solver) decayVar() { s.varInc /= s.decayFactor }
 
 // pickBranchVar selects the unassigned variable with highest activity.
 func (s *Solver) pickBranchVar() int {
@@ -395,16 +468,30 @@ func (s *Solver) pickBranchVar() int {
 	return best
 }
 
-// luby returns the i-th element (1-based) of the Luby restart sequence.
+// luby returns the i-th element (1-based) of the Luby restart
+// sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... Iterative and
+// overflow-safe for any int index: all intermediate values are powers
+// of two (minus one) computed in uint64, which cannot wrap for
+// i <= MaxInt64.
 func luby(i int) int {
-	for k := 1; ; k++ {
-		if i == (1<<uint(k))-1 {
-			return 1 << uint(k-1)
-		}
-		if i < (1<<uint(k))-1 {
-			return luby(i - (1 << uint(k-1)) + 1)
-		}
+	if i < 1 {
+		return 1
 	}
+	x := uint64(i - 1) // 0-based position
+	// Find the smallest complete subsequence (length 2^seq - 1)
+	// containing position x.
+	size, seq := uint64(1), uint(0)
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	// Descend into nested subsequences until x is the final element.
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << seq
 }
 
 // Solve determines satisfiability of the clause set under the given
@@ -425,11 +512,19 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 // *BudgetError matching ErrBudgetExhausted; the solver remains usable
 // (clauses learned so far are kept, and a later call resumes cheaper).
 //
+// A resumed call continues the Luby restart schedule where the
+// interrupted one left off, so chopping one search into many budgeted
+// steps visits exactly the same conflicts in the same order as a
+// single uninterrupted call. The portfolio layer in package smt
+// depends on this to keep its round-stepped canonical member
+// byte-identical to the plain single-solver path.
+//
 // On Unsat under assumptions, FailedAssumptions reports the
 // final-conflict core.
 func (s *Solver) SolveBudget(ctx context.Context, budget *Budget, assumptions ...Lit) (Result, error) {
 	s.failedAssumptions = nil
 	if s.rootUnsat {
+		s.lubySeq = 0
 		return Unsat, nil
 	}
 
@@ -460,11 +555,15 @@ func (s *Solver) SolveBudget(ctx context.Context, budget *Budget, assumptions ..
 	s.backtrackTo(0)
 	if s.propagate() != nil {
 		s.rootUnsat = true
+		s.lubySeq = 0
 		return Unsat, nil
 	}
 
-	restartNum := 1
-	conflictBudget := 64 * luby(restartNum)
+	restartNum := s.lubySeq
+	if restartNum < 1 {
+		restartNum = 1
+	}
+	conflictBudget := s.lubyUnit * luby(restartNum)
 	conflictsHere := 0
 
 	for {
@@ -474,6 +573,7 @@ func (s *Solver) SolveBudget(ctx context.Context, budget *Budget, assumptions ..
 			conflictsHere++
 			if s.decisionLevel() == 0 {
 				s.rootUnsat = true
+				s.lubySeq = 0
 				return Unsat, nil
 			}
 			learned, bjLevel := s.analyze(confl)
@@ -481,6 +581,7 @@ func (s *Solver) SolveBudget(ctx context.Context, budget *Budget, assumptions ..
 			if len(learned) == 1 {
 				if !s.enqueue(learned[0], nil) {
 					s.rootUnsat = true
+					s.lubySeq = 0
 					return Unsat, nil
 				}
 			} else {
@@ -500,10 +601,11 @@ func (s *Solver) SolveBudget(ctx context.Context, budget *Budget, assumptions ..
 			// stop at a Luby-aligned state.
 			s.restarts++
 			restartNum++
-			conflictBudget = 64 * luby(restartNum)
+			conflictBudget = s.lubyUnit * luby(restartNum)
 			conflictsHere = 0
 			s.backtrackTo(0)
 			if err := supervise(); err != nil {
+				s.lubySeq = restartNum
 				return Unknown, err
 			}
 			continue
@@ -517,6 +619,7 @@ func (s *Solver) SolveBudget(ctx context.Context, budget *Budget, assumptions ..
 				// The trail falsifies assumption a: extract which
 				// assumptions that falsification depended on.
 				s.failedAssumptions = s.analyzeFinal(a)
+				s.lubySeq = 0
 				return Unsat, nil
 			case lUndef:
 				assumptionsOK = false
@@ -533,6 +636,7 @@ func (s *Solver) SolveBudget(ctx context.Context, budget *Budget, assumptions ..
 
 		v := s.pickBranchVar()
 		if v == -1 {
+			s.lubySeq = 0
 			return Sat, nil
 		}
 		s.decisions++

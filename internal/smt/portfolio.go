@@ -1,0 +1,641 @@
+package smt
+
+// Parallel portfolio solving with deterministic arbitration.
+//
+// An unbudgeted FindMapping/FindOtherMapping query may run as a
+// portfolio of K diversified CDCL members racing on the same formula:
+// member 0 is the exact canonical baseline (the same encoding,
+// heuristics, and therefore search trajectory as the single-solver
+// path), members 1..K-1 ("scouts") differ in branching seed, Luby
+// restart unit, default polarity, and activity decay.
+//
+// Determinism is the design constraint: mapping.json must stay
+// byte-identical at any K and any GOMAXPROCS. Wall-clock racing is
+// therefore forbidden. Members advance in lockstep rounds — each
+// round grants every live member the same private conflict quantum
+// and theory-iteration cap, the driver waits for all of them at a
+// barrier, and outcomes are examined in member-index order. Two
+// further rules make the *result* (not just the arbitration)
+// K-invariant:
+//
+//   - Only member 0 may produce a model-bearing result (a consistent
+//     mapping, a distinguishable other-mapping). A scout reaching one
+//     goes dormant: its model is non-canonical and returning it would
+//     change downstream measurements with K.
+//   - A scout may short-circuit only outcomes that are both
+//     semantically forced AND trail-free. A SAT-level UNSAT under
+//     sound theory lemmas is forced — member 0, run to completion,
+//     necessarily reaches the same verdict. But FindMapping retains
+//     its lemma trail on ErrNoMapping (anomaly isolation warm-starts
+//     from it), and the canonical trail exists only in a completed
+//     member 0 — so FindMapping is always decided by member 0, and
+//     scouts merely race alongside. FindOtherMapping's nil outcome is
+//     rolled back by the public wrapper (no trail survives), so there
+//     a scout's UNSAT — "every consistent mapping was enumerated and
+//     found indistinguishable" — ends the query early. Uniqueness
+//     proofs are the most expensive queries of a CEGAR run, so that
+//     is exactly where the wall-clock win lives.
+//
+// Members exchange learned theory lemmas through a deduplicated
+// shared pool: each member publishes its fresh lemmas at the round
+// barrier (member-index order), scouts import unseen pool entries at
+// their next round start. Member 0 publishes but NEVER imports — an
+// imported clause would perturb its trajectory K-dependently.
+//
+// Queries with a finite caller budget bypass the portfolio entirely:
+// a scout could prove UNSAT before the canonical member exhausts the
+// budget, which would make the outcome (error vs. ErrNoMapping)
+// depend on K.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"zenport/internal/portmodel"
+	"zenport/internal/sat"
+)
+
+// PortfolioOptions configures portfolio solving for an Instance.
+type PortfolioOptions struct {
+	// K is the member count, including the canonical member 0.
+	// Values below 2 disable the portfolio.
+	K int
+	// RoundConflicts is the CDCL conflict quantum granted to each
+	// member per lockstep round. <= 0 means the default 2048.
+	RoundConflicts uint64
+	// RoundIterations caps the theory-refinement iterations a member
+	// may complete per round. <= 0 means the default 64.
+	RoundIterations int
+}
+
+func (o *PortfolioOptions) roundConflicts() uint64 {
+	if o != nil && o.RoundConflicts > 0 {
+		return o.RoundConflicts
+	}
+	return 2048
+}
+
+func (o *PortfolioOptions) roundIterations() int {
+	if o != nil && o.RoundIterations > 0 {
+		return o.RoundIterations
+	}
+	return 64
+}
+
+// portfolioOn reports whether a query should run the portfolio:
+// K >= 2 members requested and no caller budget (see package comment).
+func (in *Instance) portfolioOn(budget *sat.Budget) bool {
+	return in.Portfolio != nil && in.Portfolio.K >= 2 && budget == nil
+}
+
+// PortfolioStats is the portfolio slice of the supervision telemetry.
+type PortfolioStats struct {
+	// Queries counts queries resolved by the portfolio runner.
+	Queries uint64 `json:"queries"`
+	// Rounds totals lockstep rounds across those queries.
+	Rounds uint64 `json:"rounds"`
+	// ShortCircuits counts queries decided early by a scout's UNSAT.
+	ShortCircuits uint64 `json:"short_circuits"`
+	// Wins[i] counts queries whose deciding member was i.
+	Wins []uint64 `json:"wins"`
+	// LemmasPublished counts distinct lemmas entering the shared pool.
+	LemmasPublished uint64 `json:"lemmas_published"`
+	// LemmasImported counts pool lemmas asserted into scout solvers.
+	LemmasImported uint64 `json:"lemmas_imported"`
+}
+
+// Add folds another accumulator into this one.
+func (p *PortfolioStats) Add(o PortfolioStats) {
+	p.Queries += o.Queries
+	p.Rounds += o.Rounds
+	p.ShortCircuits += o.ShortCircuits
+	for len(p.Wins) < len(o.Wins) {
+		p.Wins = append(p.Wins, 0)
+	}
+	for i, w := range o.Wins {
+		p.Wins[i] += w
+	}
+	p.LemmasPublished += o.LemmasPublished
+	p.LemmasImported += o.LemmasImported
+}
+
+// clone returns a deep copy (the Wins slice is owned by the result).
+func (p *PortfolioStats) clone() *PortfolioStats {
+	if p == nil {
+		return nil
+	}
+	out := *p
+	out.Wins = append([]uint64(nil), p.Wins...)
+	return &out
+}
+
+// StatsCollector aggregates QueryStats from concurrent reporters —
+// the portfolio members report their per-round counter deltas from
+// their own goroutines. The zero value is ready to use.
+type StatsCollector struct {
+	mu    sync.Mutex
+	total QueryStats
+}
+
+// Report folds one reporter's stats into the aggregate. Safe for
+// concurrent use.
+func (c *StatsCollector) Report(q QueryStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total.Add(q)
+}
+
+// Snapshot returns a deep copy of the aggregate so far.
+func (c *StatsCollector) Snapshot() QueryStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.total
+	out.Portfolio = c.total.Portfolio.clone()
+	return out
+}
+
+// lemmaKey renders a lemma canonically for deduplication: literal
+// list (learning order is structural, hence canonical), source
+// experiment, and slack. Two members deriving the same lemma from the
+// same experiment produce identical keys.
+func lemmaKey(lem lemma) string {
+	var b strings.Builder
+	for _, l := range lem.lits {
+		fmt.Fprintf(&b, "%d.%d.%t;", l.uop, l.port, l.neg)
+	}
+	b.WriteByte('|')
+	b.WriteString(ExpKey(lem.src))
+	fmt.Fprintf(&b, "|%g", lem.slack)
+	return b.String()
+}
+
+// poolEntry is one published lemma with its publishing member.
+type poolEntry struct {
+	lem  lemma
+	from int
+}
+
+// lemmaPool is the deduplicated shared lemma exchange. It is written
+// only at round barriers (single-threaded, member-index order) and
+// read concurrently by scouts at round starts.
+type lemmaPool struct {
+	entries []poolEntry
+	seen    map[string]bool
+}
+
+func newLemmaPool() *lemmaPool { return &lemmaPool{seen: map[string]bool{}} }
+
+// add inserts a lemma unless an identical one is already pooled.
+func (p *lemmaPool) add(lem lemma, from int) bool {
+	k := lemmaKey(lem)
+	if p.seen[k] {
+		return false
+	}
+	p.seen[k] = true
+	p.entries = append(p.entries, poolEntry{lem: lem, from: from})
+	return true
+}
+
+// pfState is a member's lifecycle state between rounds.
+type pfState int
+
+const (
+	pfRunning  pfState = iota // paused at the round boundary, still live
+	pfSat                     // found a theory-consistent model
+	pfUnsat                   // proved no further consistent mapping exists
+	pfNil                     // find-other: bounds exhausted without a result
+	pfDiverged                // hit maxTheoryIterations
+	pfFound                   // find-other: found a distinguishable mapping
+	pfError                   // hard error in err
+)
+
+// pfMember is one portfolio member: a private shadow instance (shared
+// read-only µop table, private lemma store), a diversified solver
+// over the same encoding, and a private cumulative budget stepped by
+// one conflict quantum per round.
+type pfMember struct {
+	idx  int
+	in   *Instance
+	enc  *encoding
+	prop *Propagator
+
+	budget     sat.Budget
+	byUop      []portmodel.PortSet
+	iters      int
+	candidates int
+	published  int // prefix of in.lemmas already offered to the pool
+	cursor     int // prefix of pool entries already examined
+	imported   int // pool lemmas actually asserted into this solver
+
+	state   pfState
+	m       *portmodel.Mapping
+	other   *OtherMapping
+	err     error
+	dormant bool
+}
+
+// pfConfig is the deterministic diversification roster. Member 0 is
+// the zero Config: the exact canonical baseline. Scouts cycle restart
+// units, branch polarities, activity decays, and seeded initial
+// activity jitter — all pure functions of the member index.
+func pfConfig(idx int) sat.Config {
+	if idx == 0 {
+		return sat.Config{}
+	}
+	units := [...]int{32, 128, 16, 256}
+	decays := [...]float64{0.90, 0.99, 0.85, 0.95}
+	return sat.Config{
+		Seed:        1 + uint64(idx)*0x9e3779b97f4a7c15,
+		LubyUnit:    units[(idx-1)%len(units)],
+		PosPolarity: idx%2 == 1,
+		Decay:       decays[(idx-1)%len(decays)],
+	}
+}
+
+// newPfMember builds member idx for a query over exps: a shadow
+// instance with a private copy of the current lemma store, encoded
+// into a solver with the member's diversified configuration.
+func (in *Instance) newPfMember(idx int, exps []MeasuredExp) (*pfMember, error) {
+	sh := &Instance{NumPorts: in.NumPorts, Rmax: in.Rmax, Epsilon: in.Epsilon, Uops: in.Uops}
+	sh.lemmas = append([]lemma(nil), in.lemmas...)
+	enc, err := sh.encodeCfg(true, true, pfConfig(idx))
+	if err != nil {
+		return nil, err
+	}
+	prop, _ := sh.NewPropagator(exps)
+	return &pfMember{idx: idx, in: sh, enc: enc, prop: prop, published: len(sh.lemmas)}, nil
+}
+
+// importPool asserts every unseen pool lemma into this scout's live
+// solver. Returns true when an import closed the search space — a
+// genuine UNSAT, since pool lemmas are sound. Never called on member
+// 0: its trajectory must stay byte-identical to the single-solver
+// path, so it publishes but does not import.
+func (m *pfMember) importPool(pool *lemmaPool) bool {
+	for ; m.cursor < len(pool.entries); m.cursor++ {
+		e := pool.entries[m.cursor]
+		if e.from == m.idx {
+			continue // already in this member's own solver
+		}
+		clause := make([]sat.Lit, len(e.lem.lits))
+		for i, l := range e.lem.lits {
+			clause[i] = sat.NewLit(m.enc.mvar[l.uop][l.port], l.neg)
+		}
+		m.imported++
+		if err := m.enc.s.AddClause(clause...); err != nil {
+			if errors.Is(err, sat.ErrTrivialUnsat) {
+				m.cursor++
+				return true
+			}
+			m.state, m.err = pfError, err
+			return false
+		}
+	}
+	return false
+}
+
+// findRound advances one member of a FindMapping query by one round:
+// up to roundIters completed theory iterations under one more
+// conflict quantum. Leaving state == pfRunning means the member
+// paused at its budget and continues next round — SolveBudget resumes
+// the identical search, so chopping changes nothing but scheduling.
+func (m *pfMember) findRound(ctx context.Context, exps []MeasuredExp, quantum uint64, roundIters int) {
+	m.budget.MaxConflicts += quantum
+	for n := 0; n < roundIters; n++ {
+		if m.iters >= maxTheoryIterations {
+			m.state = pfDiverged
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			m.state, m.err = pfError, err
+			return
+		}
+		r, err := m.enc.s.SolveBudget(ctx, &m.budget)
+		if err != nil {
+			if errors.Is(err, sat.ErrBudgetExhausted) {
+				return // paused; still pfRunning
+			}
+			m.state, m.err = pfError, err
+			return
+		}
+		m.iters++
+		if r != sat.Sat {
+			m.state = pfUnsat
+			return
+		}
+		m.byUop = m.in.decodePorts(m.enc, m.byUop)
+		var mp *portmodel.Mapping
+		var vs []violation
+		if m.prop != nil {
+			m.prop.load(m.byUop)
+			vs = m.prop.check()
+		} else {
+			mp = m.in.mappingFromPorts(m.byUop)
+			vs, err = m.in.checkExps(mp, exps)
+			if err != nil {
+				m.state, m.err = pfError, err
+				return
+			}
+		}
+		if len(vs) == 0 {
+			if mp == nil {
+				mp = m.in.mappingFromPorts(m.byUop)
+			}
+			m.state, m.m = pfSat, mp
+			return
+		}
+		if err := m.in.learnViolations(m.enc, m.prop, mp, m.byUop, exps, vs); err != nil {
+			if errors.Is(err, errUnsatLemma) {
+				m.state = pfUnsat
+				return
+			}
+			m.state, m.err = pfError, err
+			return
+		}
+	}
+}
+
+// otherRound is findRound's FindOtherMapping counterpart: it
+// additionally enumerates consistent candidates, tests them against
+// the pre-enumerated distinguishing experiments, and blocks
+// indistinguishable ones — the same loop body as the single path.
+func (m *pfMember) otherRound(ctx context.Context, exps []MeasuredExp, m1 *portmodel.Mapping, cands []candExp, maxCandidates int, quantum uint64, roundIters int) {
+	m.budget.MaxConflicts += quantum
+	for n := 0; n < roundIters; n++ {
+		if m.iters >= maxTheoryIterations || m.candidates >= maxCandidates {
+			m.state = pfNil
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			m.state, m.err = pfError, err
+			return
+		}
+		r, err := m.enc.s.SolveBudget(ctx, &m.budget)
+		if err != nil {
+			if errors.Is(err, sat.ErrBudgetExhausted) {
+				return // paused; still pfRunning
+			}
+			m.state, m.err = pfError, err
+			return
+		}
+		m.iters++
+		if r != sat.Sat {
+			m.state = pfUnsat
+			return
+		}
+		m.byUop = m.in.decodePorts(m.enc, m.byUop)
+		var m2 *portmodel.Mapping
+		var vs []violation
+		if m.prop != nil {
+			m.prop.load(m.byUop)
+			vs = m.prop.check()
+		} else {
+			m2 = m.in.mappingFromPorts(m.byUop)
+			vs, err = m.in.checkExps(m2, exps)
+			if err != nil {
+				m.state, m.err = pfError, err
+				return
+			}
+		}
+		if len(vs) > 0 {
+			if err := m.in.learnViolations(m.enc, m.prop, m2, m.byUop, exps, vs); err != nil {
+				if errors.Is(err, errUnsatLemma) {
+					m.state = pfUnsat
+					return
+				}
+				m.state, m.err = pfError, err
+				return
+			}
+			continue
+		}
+		if m2 == nil {
+			m2 = m.in.mappingFromPorts(m.byUop)
+		}
+		m.candidates++
+		if !sameUsage(m1, m2) && !m1.Isomorphic(m2) {
+			exp, t1, t2, err := m.in.distinguishPre(m1, m2, cands)
+			if err != nil {
+				m.state, m.err = pfError, err
+				return
+			}
+			if exp != nil {
+				m.state = pfFound
+				m.other = &OtherMapping{Mapping: m2, Exp: exp, T1: t1, T2: t2}
+				return
+			}
+		}
+		if err := m.in.blockModel(m.enc, m.byUop); err != nil {
+			// The block closed the space: every consistent mapping was
+			// enumerated and none was distinguishable.
+			m.state = pfUnsat
+			return
+		}
+	}
+}
+
+// portfolioRun drives one query's member fleet.
+type portfolioRun struct {
+	in        *Instance
+	members   []*pfMember
+	pool      *lemmaPool
+	collector StatsCollector
+
+	rounds       uint64
+	winner       int
+	shortCircuit bool
+	published    uint64
+}
+
+func (in *Instance) newPortfolioRun(exps []MeasuredExp) (*portfolioRun, error) {
+	r := &portfolioRun{in: in, pool: newLemmaPool(), winner: -1}
+	for i := 0; i < in.Portfolio.K; i++ {
+		m, err := in.newPfMember(i, exps)
+		if err != nil {
+			return nil, err
+		}
+		r.members = append(r.members, m)
+	}
+	return r, nil
+}
+
+// drive runs lockstep rounds until a member decides the query and
+// returns that member. round advances one member by one round; it
+// runs concurrently across members, but everything that determines
+// the result — pool publication, arbitration — happens at the barrier
+// in member-index order, so the decision is a pure function of the
+// formula, K, and the round quanta. Never of wall clock or GOMAXPROCS.
+//
+// allowShortCircuit permits a scout's UNSAT to decide the query (the
+// trail-free FindOtherMapping nil); without it every scout outcome is
+// dormancy and only member 0 resolves.
+func (r *portfolioRun) drive(ctx context.Context, allowShortCircuit bool, round func(*pfMember)) *pfMember {
+	for {
+		r.rounds++
+		var wg sync.WaitGroup
+		for _, m := range r.members {
+			if m.dormant || m.state != pfRunning {
+				continue
+			}
+			wg.Add(1)
+			go func(m *pfMember) {
+				defer wg.Done()
+				iters0, stats0 := m.iters, m.enc.s.StatsSnapshot()
+				if m.idx != 0 && m.importPool(r.pool) {
+					m.state = pfUnsat
+				}
+				if m.state == pfRunning {
+					round(m)
+				}
+				d := m.enc.s.StatsSnapshot()
+				r.collector.Report(QueryStats{
+					TheoryIterations: uint64(m.iters - iters0),
+					Solver: sat.Stats{
+						Propagations: d.Propagations - stats0.Propagations,
+						Conflicts:    d.Conflicts - stats0.Conflicts,
+						Decisions:    d.Decisions - stats0.Decisions,
+						Restarts:     d.Restarts - stats0.Restarts,
+						Learned:      d.Learned - stats0.Learned,
+					},
+				})
+			}(m)
+		}
+		wg.Wait()
+
+		// Barrier: publish fresh lemmas in member-index order, then
+		// arbitrate in member-index order.
+		for _, m := range r.members {
+			for _, lem := range m.in.lemmas[m.published:] {
+				if r.pool.add(lem, m.idx) {
+					r.published++
+				}
+			}
+			m.published = len(m.in.lemmas)
+		}
+		if m0 := r.members[0]; m0.state != pfRunning {
+			r.winner = 0
+			return m0
+		}
+		for _, m := range r.members[1:] {
+			if m.dormant || m.state == pfRunning {
+				continue
+			}
+			switch {
+			case m.state == pfUnsat && allowShortCircuit:
+				// Semantically forced and trail-free: short-circuit.
+				r.winner, r.shortCircuit = m.idx, true
+				return m
+			case m.state == pfError && ctx.Err() != nil:
+				return m // the whole query is being cancelled
+			default:
+				// Non-canonical (pfSat/pfFound), non-forced (pfNil,
+				// pfDiverged), or forced-but-trail-bearing (pfUnsat
+				// without allowShortCircuit): only member 0 decides.
+				m.dormant = true
+			}
+		}
+	}
+}
+
+// note folds the query's telemetry — summed member counters plus the
+// portfolio section — into the instance accumulator. lemmas0 is the
+// lemma-store length at query entry, so retained lemmas (member 0's,
+// on success) are counted exactly like the single path counts its own.
+func (r *portfolioRun) note(lemmas0 int) {
+	q := r.in.Telemetry
+	if q == nil {
+		return
+	}
+	agg := r.collector.Snapshot()
+	q.Queries++
+	q.TheoryIterations += agg.TheoryIterations
+	q.Solver.Propagations += agg.Solver.Propagations
+	q.Solver.Conflicts += agg.Solver.Conflicts
+	q.Solver.Decisions += agg.Solver.Decisions
+	q.Solver.Restarts += agg.Solver.Restarts
+	q.Solver.Learned += agg.Solver.Learned
+	if n := len(r.in.lemmas) - lemmas0; n > 0 {
+		q.LemmasLearned += uint64(n)
+	}
+	if q.Portfolio == nil {
+		q.Portfolio = &PortfolioStats{}
+	}
+	p := q.Portfolio
+	p.Queries++
+	p.Rounds += r.rounds
+	if r.shortCircuit {
+		p.ShortCircuits++
+	}
+	for len(p.Wins) < len(r.members) {
+		p.Wins = append(p.Wins, 0)
+	}
+	if r.winner >= 0 {
+		p.Wins[r.winner]++
+	}
+	p.LemmasPublished += r.published
+	for _, m := range r.members {
+		p.LemmasImported += uint64(m.imported)
+	}
+}
+
+// findMappingPortfolio is the portfolio path of FindMappingBudget.
+// Member 0 always decides (no short-circuit: the UNSAT trail is part
+// of the result), and on every member-0 outcome — success, UNSAT,
+// divergence — the retained lemma store is exactly member 0's: the
+// same lemmas, in the same order, as the single-solver path would
+// have learned.
+func (in *Instance) findMappingPortfolio(ctx context.Context, exps []MeasuredExp) (*portmodel.Mapping, error) {
+	lemmas0 := len(in.lemmas)
+	run, err := in.newPortfolioRun(exps)
+	if err != nil {
+		return nil, err
+	}
+	defer run.note(lemmas0)
+	quantum, iters := in.Portfolio.roundConflicts(), in.Portfolio.roundIterations()
+	dec := run.drive(ctx, false, func(m *pfMember) { m.findRound(ctx, exps, quantum, iters) })
+	if dec.idx == 0 {
+		in.lemmas = dec.in.lemmas
+	}
+	switch dec.state {
+	case pfSat:
+		return dec.m, nil
+	case pfUnsat:
+		return nil, ErrNoMapping
+	case pfDiverged:
+		return nil, fmt.Errorf("smt: theory refinement did not converge")
+	default:
+		return nil, dec.err
+	}
+}
+
+// findOtherMappingPortfolio is the portfolio path of
+// FindOtherMappingBudget. Scouts may only short-circuit the forced
+// nil outcome; any returned OtherMapping is member 0's.
+func (in *Instance) findOtherMappingPortfolio(ctx context.Context, exps []MeasuredExp, m1 *portmodel.Mapping, maxDistinct, maxTotal, maxCandidates int) (*OtherMapping, error) {
+	lemmas0 := len(in.lemmas)
+	cands, err := in.candidateExps(m1, maxDistinct, maxTotal)
+	if err != nil {
+		return nil, err
+	}
+	run, err := in.newPortfolioRun(exps)
+	if err != nil {
+		return nil, err
+	}
+	defer run.note(lemmas0)
+	quantum, iters := in.Portfolio.roundConflicts(), in.Portfolio.roundIterations()
+	dec := run.drive(ctx, true, func(m *pfMember) {
+		m.otherRound(ctx, exps, m1, cands, maxCandidates, quantum, iters)
+	})
+	switch dec.state {
+	case pfFound:
+		// dec is necessarily member 0: scouts go dormant on a find.
+		in.lemmas = dec.in.lemmas
+		return dec.other, nil
+	case pfUnsat, pfNil:
+		return nil, nil
+	default:
+		return nil, dec.err
+	}
+}

@@ -1,0 +1,412 @@
+package smt
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"zenport/internal/portmodel"
+	"zenport/internal/sat"
+)
+
+// portfolioFixture is a SAT instance whose refinement loop genuinely
+// iterates (the first model is inconsistent with the pair
+// measurement), so lemma learning, publication, and the multi-round
+// machinery are all exercised.
+func portfolioFixture() (*Instance, []MeasuredExp) {
+	in := &Instance{
+		NumPorts: 4, Rmax: 5, Epsilon: 0.02,
+		Uops: []UopSpec{
+			{Key: "add", NumPorts: 2},
+			{Key: "mul", NumPorts: 1},
+			{Key: "shl", NumPorts: 1},
+		},
+	}
+	// Ground truth: add on {0,1}, mul on {0}, shl on {1}.
+	truth := portmodel.NewMapping(4)
+	truth.Set("add", portmodel.Usage{{Ports: portmodel.MakePortSet(0, 1), Count: 1}})
+	truth.Set("mul", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+	truth.Set("shl", portmodel.Usage{{Ports: portmodel.MakePortSet(1), Count: 1}})
+	exps := []MeasuredExp{}
+	for _, e := range []portmodel.Experiment{
+		portmodel.Exp("add"),
+		portmodel.Exp("mul"),
+		portmodel.Exp("shl"),
+		{"add": 2, "mul": 1},
+		{"add": 2, "shl": 1},
+		{"mul": 1, "shl": 1},
+		{"add": 2, "mul": 1, "shl": 1},
+	} {
+		ti, err := truth.InverseThroughput(e)
+		if err != nil {
+			panic(err)
+		}
+		exps = append(exps, MeasuredExp{Exp: e, TInv: ti})
+	}
+	return in, exps
+}
+
+func mappingJSON(t *testing.T, m *portmodel.Mapping) []byte {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestPortfolioFindMappingMatchesSingle: the portfolio result — the
+// mapping AND the retained lemma store — must be byte-identical to
+// the single-solver path at every K and round quantum.
+func TestPortfolioFindMappingMatchesSingle(t *testing.T) {
+	ref, refExps := portfolioFixture()
+	refM, err := ref.FindMapping(refExps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON := mappingJSON(t, refM)
+	refLemmas := ref.LemmaRecords()
+
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, quantum := range []uint64{64, 2048} {
+			in, exps := portfolioFixture()
+			in.Portfolio = &PortfolioOptions{K: k, RoundConflicts: quantum}
+			in.Telemetry = &QueryStats{}
+			m, err := in.FindMapping(exps)
+			if err != nil {
+				t.Fatalf("K=%d quantum=%d: %v", k, quantum, err)
+			}
+			if got := mappingJSON(t, m); string(got) != string(refJSON) {
+				t.Fatalf("K=%d quantum=%d: mapping diverged\n got %s\nwant %s", k, quantum, got, refJSON)
+			}
+			if got := in.LemmaRecords(); !reflect.DeepEqual(got, refLemmas) {
+				t.Fatalf("K=%d quantum=%d: lemma store diverged: %d records vs %d", k, quantum, len(got), len(refLemmas))
+			}
+			if k >= 2 {
+				p := in.Telemetry.Portfolio
+				if p == nil || p.Queries == 0 || p.Rounds == 0 {
+					t.Fatalf("K=%d: portfolio telemetry missing: %+v", k, p)
+				}
+				if len(p.Wins) != k {
+					t.Fatalf("K=%d: Wins has %d entries", k, len(p.Wins))
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioFindOtherMappingMatchesSingle: same identity for the
+// enumeration query, including the distinguishing experiment and both
+// modeled throughputs.
+func TestPortfolioFindOtherMappingMatchesSingle(t *testing.T) {
+	ref := toyInstance()
+	refExps := toyExps()
+	refM, err := ref.FindMapping(refExps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOther, err := ref.FindOtherMapping(refExps, refM, 2, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refOther == nil {
+		t.Fatal("reference FindOtherMapping returned nil")
+	}
+
+	for _, k := range []int{1, 2, 4, 8} {
+		in := toyInstance()
+		in.Portfolio = &PortfolioOptions{K: k, RoundConflicts: 64}
+		exps := toyExps()
+		m1, err := in.FindMapping(exps)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if got := mappingJSON(t, m1); string(got) != string(mappingJSON(t, refM)) {
+			t.Fatalf("K=%d: first mapping diverged", k)
+		}
+		other, err := in.FindOtherMapping(exps, m1, 2, 4, 100)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if other == nil {
+			t.Fatalf("K=%d: FindOtherMapping returned nil, single path found one", k)
+		}
+		if !reflect.DeepEqual(other.Exp, refOther.Exp) || other.T1 != refOther.T1 || other.T2 != refOther.T2 {
+			t.Fatalf("K=%d: distinguishing experiment diverged: %v (%v/%v) vs %v (%v/%v)",
+				k, other.Exp, other.T1, other.T2, refOther.Exp, refOther.T1, refOther.T2)
+		}
+		if got := mappingJSON(t, other.Mapping); string(got) != string(mappingJSON(t, refOther.Mapping)) {
+			t.Fatalf("K=%d: second mapping diverged", k)
+		}
+	}
+}
+
+// TestPortfolioCEGARSequenceMatchesSingle drives the full CEGAR loop
+// (alternating FindMapping / FindOtherMapping with measurements from
+// a ground truth) at several K: every round's experiments and the
+// converged mapping must match the single-solver run exactly.
+func TestPortfolioCEGARSequenceMatchesSingle(t *testing.T) {
+	truth := portmodel.NewMapping(2)
+	truth.Set("iA", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+	truth.Set("iB", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+
+	run := func(k int) ([]byte, int) {
+		in := toyInstance()
+		if k >= 2 {
+			in.Portfolio = &PortfolioOptions{K: k, RoundConflicts: 64}
+		}
+		exps := toyExps()
+		for iter := 0; iter < 20; iter++ {
+			m1, err := in.FindMapping(exps)
+			if err != nil {
+				t.Fatalf("K=%d: %v", k, err)
+			}
+			other, err := in.FindOtherMapping(exps, m1, 2, 4, 100)
+			if err != nil {
+				t.Fatalf("K=%d: %v", k, err)
+			}
+			if other == nil {
+				return mappingJSON(t, m1), len(exps)
+			}
+			tm, err := truth.InverseThroughput(other.Exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exps = append(exps, MeasuredExp{Exp: other.Exp, TInv: tm})
+		}
+		t.Fatalf("K=%d: CEGAR did not converge", k)
+		return nil, 0
+	}
+
+	refJSON, refExps := run(1)
+	for _, k := range []int{2, 4, 8} {
+		got, n := run(k)
+		if string(got) != string(refJSON) {
+			t.Fatalf("K=%d: converged mapping diverged\n got %s\nwant %s", k, got, refJSON)
+		}
+		if n != refExps {
+			t.Fatalf("K=%d: converged after %d experiments, single after %d", k, n, refExps)
+		}
+	}
+}
+
+// TestPortfolioUnsatMatchesSingle: an infeasible instance must return
+// ErrNoMapping at every K, retaining a lemma trail byte-identical to
+// the single solver's — anomaly isolation warm-starts the
+// post-exclusion queries from that trail, so it is part of the
+// K-invariance contract.
+func TestPortfolioUnsatMatchesSingle(t *testing.T) {
+	build := func() (*Instance, []MeasuredExp) {
+		in := &Instance{
+			NumPorts: 10, Rmax: 5, Epsilon: 0.02,
+			Uops: []UopSpec{
+				{Key: "add", NumPorts: 4},
+				{Key: "imul", NumPorts: 1},
+			},
+		}
+		exps := []MeasuredExp{
+			{Exp: portmodel.Exp("add"), TInv: 0.25},
+			{Exp: portmodel.Exp("imul"), TInv: 1.0},
+			{Exp: portmodel.Experiment{"add": 4, "imul": 1}, TInv: 1.5},
+		}
+		return in, exps
+	}
+	ref, refExps := build()
+	if _, err := ref.FindMapping(refExps); err != ErrNoMapping {
+		t.Fatalf("single: expected ErrNoMapping, got %v", err)
+	}
+	refTrail := ref.LemmaRecords()
+	if len(refTrail) == 0 {
+		t.Fatal("single-path UNSAT learned no lemmas; fixture too easy")
+	}
+	for _, k := range []int{2, 4, 8} {
+		in, exps := build()
+		in.Portfolio = &PortfolioOptions{K: k, RoundConflicts: 64}
+		if _, err := in.FindMapping(exps); err != ErrNoMapping {
+			t.Fatalf("K=%d: expected ErrNoMapping, got %v", k, err)
+		}
+		if got := in.LemmaRecords(); !reflect.DeepEqual(got, refTrail) {
+			t.Fatalf("K=%d: UNSAT lemma trail diverged from single path: %d records vs %d",
+				k, len(got), len(refTrail))
+		}
+	}
+}
+
+// TestPortfolioOtherMappingNilRollsBack: a nil FindOtherMapping (the
+// uniqueness proof that ends a CEGAR loop) must leave the lemma store
+// untouched at every K — this is the trail-free outcome that lets a
+// scout's UNSAT short-circuit the query.
+func TestPortfolioOtherMappingNilRollsBack(t *testing.T) {
+	truth := portmodel.NewMapping(2)
+	truth.Set("iA", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+	truth.Set("iB", portmodel.Usage{{Ports: portmodel.MakePortSet(0), Count: 1}})
+	for _, k := range []int{1, 2, 4, 8} {
+		in := toyInstance()
+		if k >= 2 {
+			in.Portfolio = &PortfolioOptions{K: k, RoundConflicts: 64}
+		}
+		exps := toyExps()
+		// Drive to convergence: the final FindOtherMapping returns nil.
+		for iter := 0; ; iter++ {
+			if iter >= 20 {
+				t.Fatalf("K=%d: CEGAR did not converge", k)
+			}
+			m1, err := in.FindMapping(exps)
+			if err != nil {
+				t.Fatalf("K=%d: %v", k, err)
+			}
+			before := in.LemmaCount()
+			other, err := in.FindOtherMapping(exps, m1, 2, 4, 100)
+			if err != nil {
+				t.Fatalf("K=%d: %v", k, err)
+			}
+			if other == nil {
+				if got := in.LemmaCount(); got != before {
+					t.Fatalf("K=%d: nil FindOtherMapping changed the lemma store: %d -> %d", k, before, got)
+				}
+				break
+			}
+			tm, err := truth.InverseThroughput(other.Exp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exps = append(exps, MeasuredExp{Exp: other.Exp, TInv: tm})
+		}
+	}
+}
+
+// TestPortfolioDisabledUnderBudget: a finite caller budget must take
+// the single-solver path (a scout could otherwise decide a query the
+// canonical member's budget would have stopped, making the outcome
+// K-dependent).
+func TestPortfolioDisabledUnderBudget(t *testing.T) {
+	in, exps := portfolioFixture()
+	in.Portfolio = &PortfolioOptions{K: 4}
+	in.Telemetry = &QueryStats{}
+	b := &sat.Budget{MaxConflicts: 1 << 40}
+	m, err := in.FindMappingBudget(context.Background(), exps, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("expected a mapping")
+	}
+	if in.Telemetry.Portfolio != nil {
+		t.Fatalf("budgeted query ran the portfolio: %+v", in.Telemetry.Portfolio)
+	}
+}
+
+// TestImportLemmaRecordsDedup: importing overlapping lemma sets must
+// add each distinct lemma once — K members learning the same lemma
+// must not multiply stored clauses or serialized LemmaRecords.
+func TestImportLemmaRecordsDedup(t *testing.T) {
+	in := toyInstance()
+	recA := LemmaRecord{
+		Lits:  []LemmaLitRecord{{Uop: 0, Port: 0}, {Uop: 1, Port: 1, Neg: true}},
+		Src:   portmodel.Exp("iA"),
+		Slack: 0,
+	}
+	recB := LemmaRecord{
+		Lits:  []LemmaLitRecord{{Uop: 1, Port: 0, Neg: true}},
+		Src:   portmodel.Experiment{"iA": 1, "iB": 1},
+		Slack: 0.5,
+	}
+	added, err := in.ImportLemmaRecords([]LemmaRecord{recA, recB, recA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || in.LemmaCount() != 2 {
+		t.Fatalf("first import: added %d, stored %d; want 2, 2", added, in.LemmaCount())
+	}
+	// Re-importing the same records is a no-op.
+	added, err = in.ImportLemmaRecords([]LemmaRecord{recA, recB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || in.LemmaCount() != 2 {
+		t.Fatalf("re-import: added %d, stored %d; want 0, 2", added, in.LemmaCount())
+	}
+	// A mixed batch adds only the novel lemma.
+	recC := LemmaRecord{
+		Lits: []LemmaLitRecord{{Uop: 0, Port: 1}},
+		Src:  portmodel.Exp("iB"),
+	}
+	added, err = in.ImportLemmaRecords([]LemmaRecord{recA, recC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || in.LemmaCount() != 3 {
+		t.Fatalf("mixed import: added %d, stored %d; want 1, 3", added, in.LemmaCount())
+	}
+	// Same clause with a different slack is a different lemma.
+	recAslack := recA
+	recAslack.Slack = 0.25
+	added, err = in.ImportLemmaRecords([]LemmaRecord{recAslack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || in.LemmaCount() != 4 {
+		t.Fatalf("slack variant: added %d, stored %d; want 1, 4", added, in.LemmaCount())
+	}
+	// Invalid records leave the store unchanged.
+	if _, err := in.ImportLemmaRecords([]LemmaRecord{{Src: portmodel.Exp("iA")}}); err == nil {
+		t.Fatal("expected an error for an empty clause")
+	}
+	if in.LemmaCount() != 4 {
+		t.Fatalf("failed import mutated the store: %d lemmas", in.LemmaCount())
+	}
+	// The round trip through LemmaRecords stays deduplicated.
+	if got := len(in.LemmaRecords()); got != 4 {
+		t.Fatalf("LemmaRecords has %d entries, want 4", got)
+	}
+}
+
+// TestStatsCollectorConcurrent: K goroutines reporting member stats
+// into one aggregate must total exactly the serial sum. Run with
+// -race this also proves the collector's synchronization.
+func TestStatsCollectorConcurrent(t *testing.T) {
+	const workers = 8
+	const reports = 200
+	unit := QueryStats{
+		Queries:          1,
+		TheoryIterations: 3,
+		LemmasLearned:    2,
+	}
+	unit.Solver.Conflicts = 7
+	unit.Solver.Propagations = 11
+	unit.Solver.Decisions = 5
+	unit.Solver.Restarts = 1
+	unit.Solver.Learned = 4
+	unit.Portfolio = &PortfolioStats{Queries: 1, Rounds: 2, Wins: []uint64{1, 0, 1}, LemmasPublished: 3, LemmasImported: 6}
+
+	var want QueryStats
+	for i := 0; i < workers*reports; i++ {
+		want.Add(unit)
+	}
+
+	var c StatsCollector
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reports; i++ {
+				c.Report(unit)
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("aggregate diverged from serial sum:\n got %+v / %+v\nwant %+v / %+v",
+			got, got.Portfolio, want, want.Portfolio)
+	}
+	// Snapshot must be a deep copy: mutating it cannot corrupt the
+	// collector.
+	got.Portfolio.Wins[0] = 999
+	if c.Snapshot().Portfolio.Wins[0] == 999 {
+		t.Fatal("Snapshot shares the Wins slice with the collector")
+	}
+}

@@ -44,32 +44,73 @@ func (in *Instance) LemmaRecords() []LemmaRecord {
 	return out
 }
 
+// lemmaFromRecord validates one record against the instance shape and
+// converts it. A record with a µop or port index out of range would
+// corrupt the SAT encoding (or panic) on the next solve, so importing
+// from an untrusted checkpoint must fail with an error instead.
+func (in *Instance) lemmaFromRecord(i int, rec LemmaRecord) (lemma, error) {
+	if len(rec.Lits) == 0 {
+		return lemma{}, fmt.Errorf("smt: lemma %d: empty clause", i)
+	}
+	if math.IsNaN(rec.Slack) || math.IsInf(rec.Slack, 0) || rec.Slack < 0 {
+		return lemma{}, fmt.Errorf("smt: lemma %d: invalid slack %v", i, rec.Slack)
+	}
+	lits := make([]lemmaLit, len(rec.Lits))
+	for j, l := range rec.Lits {
+		if l.Uop < 0 || l.Uop >= len(in.Uops) {
+			return lemma{}, fmt.Errorf("smt: lemma %d: µop index %d out of range [0,%d)", i, l.Uop, len(in.Uops))
+		}
+		if l.Port < 0 || l.Port >= in.NumPorts {
+			return lemma{}, fmt.Errorf("smt: lemma %d: port %d out of range [0,%d)", i, l.Port, in.NumPorts)
+		}
+		lits[j] = lemmaLit{uop: l.Uop, port: l.Port, neg: l.Neg}
+	}
+	return lemma{lits: lits, src: rec.Src.Clone(), slack: rec.Slack}, nil
+}
+
 // RestoreLemmas replaces the instance's lemmas with the checkpointed
-// records, after validating every literal against the instance shape:
-// a record with a µop or port index out of range would corrupt the
-// SAT encoding (or panic) on the next solve, so restoring from an
-// untrusted checkpoint must fail with an error instead.
+// records, after validating every literal against the instance shape.
 func (in *Instance) RestoreLemmas(recs []LemmaRecord) error {
 	restored := make([]lemma, 0, len(recs))
 	for i, rec := range recs {
-		if len(rec.Lits) == 0 {
-			return fmt.Errorf("smt: lemma %d: empty clause", i)
+		lem, err := in.lemmaFromRecord(i, rec)
+		if err != nil {
+			return err
 		}
-		if math.IsNaN(rec.Slack) || math.IsInf(rec.Slack, 0) || rec.Slack < 0 {
-			return fmt.Errorf("smt: lemma %d: invalid slack %v", i, rec.Slack)
-		}
-		lits := make([]lemmaLit, len(rec.Lits))
-		for j, l := range rec.Lits {
-			if l.Uop < 0 || l.Uop >= len(in.Uops) {
-				return fmt.Errorf("smt: lemma %d: µop index %d out of range [0,%d)", i, l.Uop, len(in.Uops))
-			}
-			if l.Port < 0 || l.Port >= in.NumPorts {
-				return fmt.Errorf("smt: lemma %d: port %d out of range [0,%d)", i, l.Port, in.NumPorts)
-			}
-			lits[j] = lemmaLit{uop: l.Uop, port: l.Port, neg: l.Neg}
-		}
-		restored = append(restored, lemma{lits: lits, src: rec.Src.Clone(), slack: rec.Slack})
+		restored = append(restored, lem)
 	}
 	in.lemmas = restored
 	return nil
+}
+
+// ImportLemmaRecords validates the records and appends those not
+// already present to the instance's lemma store, deduplicating by
+// exact clause, source experiment, and slack. K portfolio members (or
+// repeated checkpoint merges) learning the same lemma therefore never
+// multiply stored clauses or serialized LemmaRecords. It returns the
+// number of lemmas actually added; on error the store is unchanged.
+func (in *Instance) ImportLemmaRecords(recs []LemmaRecord) (int, error) {
+	incoming := make([]lemma, 0, len(recs))
+	for i, rec := range recs {
+		lem, err := in.lemmaFromRecord(i, rec)
+		if err != nil {
+			return 0, err
+		}
+		incoming = append(incoming, lem)
+	}
+	seen := make(map[string]bool, len(in.lemmas))
+	for _, lem := range in.lemmas {
+		seen[lemmaKey(lem)] = true
+	}
+	added := 0
+	for _, lem := range incoming {
+		k := lemmaKey(lem)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		in.lemmas = append(in.lemmas, lem)
+		added++
+	}
+	return added, nil
 }
